@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain `go` underneath (no deps).
+
+.PHONY: build test vet bench cover experiments experiments-quick examples fmt
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+cover:
+	go test -cover ./internal/...
+
+bench:
+	go test -bench=. -benchmem -benchtime=1x .
+
+experiments:
+	go run ./cmd/experiments -profile default -out results
+
+experiments-quick:
+	go run ./cmd/experiments -profile quick
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/fft -max-l 9
+	go run ./examples/tsp -cities 10
+	go run ./examples/tracer -size 48
+	go run ./examples/parallel
+	go run ./examples/hierarchy -graph-level 7
+
+fmt:
+	gofmt -w .

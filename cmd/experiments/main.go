@@ -1,0 +1,176 @@
+// Command experiments regenerates the paper's evaluation: one table per
+// figure (Figures 7-11), the Section 5 closed-form tables, and the
+// validation/ablation tables DESIGN.md indexes. Results are printed as
+// aligned text and, with -out, written as CSV files plus a combined
+// report.txt ready for plotting.
+//
+//	experiments                      # run everything at the default scale
+//	experiments -exp fig7,fig11      # a subset
+//	experiments -profile quick       # miniature sweep (seconds)
+//	experiments -out results/        # also write CSVs
+//	experiments -fft-max 12 -bhk-max 15 -mincut-timeout 1h   # paper scale
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"graphio/internal/experiments"
+	"graphio/internal/plot"
+)
+
+func main() {
+	exp := flag.String("exp", "", "comma-separated experiment names (empty = all): fig7,fig8,fig9,fig10,fig11,hypercube,fft,er,sandwich,bestk,thm4vs5")
+	out := flag.String("out", "", "directory for CSV output (empty = print only)")
+	profile := flag.String("profile", "default", "sweep scale: default|quick")
+	fftMax := flag.Int("fft-max", 0, "extend the FFT sweep up to this l")
+	bhkMax := flag.Int("bhk-max", 0, "extend the Bellman-Held-Karp sweep up to this l")
+	matmulMax := flag.Int("matmul-max", 0, "extend the matmul sweep up to this n (step 4)")
+	mcTimeout := flag.Duration("mincut-timeout", 0, "override the per-graph min-cut time box")
+	maxK := flag.Int("maxk", 0, "override h, the number of eigenvalues computed")
+	doPlot := flag.Bool("plot", false, "render figure tables as ASCII charts after running")
+	plotDir := flag.String("plot-dir", "", "render saved CSVs from this directory and exit (no recomputation)")
+	flag.Parse()
+
+	if *plotDir != "" {
+		if err := plotSaved(*plotDir); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var cfg experiments.Config
+	switch *profile {
+	case "default":
+		cfg = experiments.DefaultConfig()
+	case "quick":
+		cfg = experiments.QuickConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+	if *fftMax > 0 {
+		cfg.FFTLevels = extendTo(cfg.FFTLevels, *fftMax, 1)
+	}
+	if *bhkMax > 0 {
+		cfg.BHKCities = extendTo(cfg.BHKCities, *bhkMax, 1)
+	}
+	if *matmulMax > 0 {
+		cfg.MatMulSizes = extendTo(cfg.MatMulSizes, *matmulMax, 4)
+	}
+	if *mcTimeout > 0 {
+		cfg.MinCutTimeout = *mcTimeout
+	}
+	if *maxK > 0 {
+		cfg.MaxK = *maxK
+	}
+	cfg.Progress = os.Stderr
+
+	var names []string
+	if *exp != "" {
+		for _, n := range strings.Split(*exp, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	start := time.Now()
+	tables, err := experiments.RunAll(cfg, *out, names, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	if *doPlot {
+		for _, t := range tables {
+			renderFigure(t)
+		}
+	}
+	fmt.Printf("total %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// plotSaved renders every known figure CSV found in dir, in figure order.
+func plotSaved(dir string) error {
+	rendered := 0
+	for _, name := range []string{"fig7", "fig8", "fig9", "fig10", "fig11"} {
+		ax := figureAxes[name]
+		f, err := os.Open(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			continue // figure not present in this results directory
+		}
+		records, err := csv.NewReader(f).ReadAll()
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("reading %s.csv: %w", name, err)
+		}
+		if len(records) < 2 {
+			continue
+		}
+		series, err := plot.FromTable(records[0], records[1:], ax.x, ax.prefixes...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			continue
+		}
+		opt := plot.Options{Title: name, XLabel: ax.x, YLabel: "I/O bound", LogY: ax.logY}
+		if err := plot.Render(os.Stdout, series, opt); err != nil {
+			return err
+		}
+		fmt.Println()
+		rendered++
+	}
+	if rendered == 0 {
+		return fmt.Errorf("no figure CSVs found in %s", dir)
+	}
+	return nil
+}
+
+// figureAxes maps figure tables to their x column and series prefixes.
+var figureAxes = map[string]struct {
+	x        string
+	prefixes []string
+	logY     bool
+}{
+	"fig7":  {"l", []string{"spectral_", "mincut_"}, true},
+	"fig8":  {"n", []string{"spectral_", "mincut_"}, true},
+	"fig9":  {"n", []string{"spectral_", "mincut_"}, true},
+	"fig10": {"l", []string{"spectral_", "mincut_"}, true},
+	"fig11": {"l", []string{"spectral_s", "mincut_s"}, true},
+}
+
+// renderFigure draws an ASCII chart for tables that have a known axis
+// mapping; other tables are silently skipped.
+func renderFigure(t *experiments.Table) {
+	ax, ok := figureAxes[t.Name]
+	if !ok {
+		return
+	}
+	series, err := plot.FromTable(t.Columns, t.Rows, ax.x, ax.prefixes...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: plotting %s: %v\n", t.Name, err)
+		return
+	}
+	opt := plot.Options{Title: t.Title, XLabel: ax.x, YLabel: "I/O bound", LogY: ax.logY}
+	if err := plot.Render(os.Stdout, series, opt); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: plotting %s: %v\n", t.Name, err)
+	}
+	fmt.Println()
+}
+
+// extendTo appends step-spaced values after the slice's maximum up to max.
+func extendTo(xs []int, max, step int) []int {
+	hi := 0
+	for _, x := range xs {
+		if x > hi {
+			hi = x
+		}
+	}
+	for v := hi + step; v <= max; v += step {
+		xs = append(xs, v)
+	}
+	return xs
+}

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestExtendTo(t *testing.T) {
+	got := extendTo([]int{3, 4, 5}, 8, 1)
+	if !reflect.DeepEqual(got, []int{3, 4, 5, 6, 7, 8}) {
+		t.Errorf("extendTo step 1: %v", got)
+	}
+	got = extendTo([]int{4, 8}, 16, 4)
+	if !reflect.DeepEqual(got, []int{4, 8, 12, 16}) {
+		t.Errorf("extendTo step 4: %v", got)
+	}
+	// Max below the current maximum: unchanged.
+	got = extendTo([]int{4, 8}, 6, 1)
+	if !reflect.DeepEqual(got, []int{4, 8}) {
+		t.Errorf("extendTo no-op: %v", got)
+	}
+}

@@ -1,0 +1,16 @@
+// Package graphio is a from-scratch Go reproduction of "Spectral Lower
+// Bounds on the I/O Complexity of Computation Graphs" (Saachi Jain and
+// Matei Zaharia, SPAA 2020).
+//
+// The library computes lower bounds on the non-trivial I/O any evaluation
+// order of a computation DAG must incur on a two-level memory hierarchy
+// with fast memory of size M. The primary method (internal/core) bounds
+// I/O by the smallest eigenvalues of the graph's out-degree-normalized
+// Laplacian (Theorems 4-6 of the paper); baselines, closed-form spectra,
+// generators, a computation tracer, a pebble-game simulator, and an
+// experiment harness that regenerates every figure of the paper's
+// evaluation live in the sibling internal packages. See DESIGN.md for the
+// system inventory and EXPERIMENTS.md for reproduction results; the
+// runnable entry points are cmd/specio, cmd/experiments, and the programs
+// under examples/.
+package graphio

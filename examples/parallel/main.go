@@ -1,0 +1,48 @@
+// Parallel example: the Theorem 6 extension. With p processors, each with
+// its own fast memory of M values, the paper shows some processor must
+// incur ⌊n/(kp)⌋·Σλ_i − 2kM of I/O no matter how the work is divided.
+// This program sweeps p for the FFT and Bellman-Held-Karp graphs and shows
+// where the per-processor certificate fades — the point past which the
+// spectral method can no longer prove a communication floor.
+//
+//	go run ./examples/parallel [-M 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"graphio/internal/core"
+	"graphio/internal/gen"
+	"graphio/internal/graph"
+)
+
+func main() {
+	M := flag.Int("M", 8, "per-processor fast memory")
+	flag.Parse()
+
+	procs := []int{1, 2, 4, 8, 16, 32}
+	for _, g := range []*graph.Graph{gen.FFT(9), gen.BellmanHeldKarp(11)} {
+		m := *M
+		if g.MaxInDeg() > m {
+			m = g.MaxInDeg()
+		}
+		// One eigensolve serves the whole sweep: Theorem 6 only changes
+		// the ⌊n/(kp)⌋ factor in front of the cached spectrum.
+		res, err := core.SpectralBound(g, core.Options{M: m})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (n=%d, M=%d per processor)\n", g.Name(), g.N(), m)
+		fmt.Printf("  %6s %14s %8s\n", "p", "busiest-proc", "best k")
+		for _, p := range procs {
+			bound, bestK, _ := core.BoundFromEigenvalues(res.Eigenvalues, g.N(), m, p, 1)
+			fmt.Printf("  %6d %14.2f %8d\n", p, bound, bestK)
+		}
+		fmt.Println()
+	}
+	fmt.Println("the certificate decays roughly like 1/p: with more processors each")
+	fmt.Println("one owns fewer vertices, so fewer segment boundaries are forced per")
+	fmt.Println("processor — Theorem 6 makes no assumption about load balance.")
+}

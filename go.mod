@@ -1,0 +1,3 @@
+module graphio
+
+go 1.22

@@ -1,0 +1,237 @@
+// Package analytic provides the paper's closed-form results: exact
+// Laplacian spectra for the hypercube and the unwrapped butterfly graph
+// (Theorem 7 — the multiplicity result the paper derives in Appendix A),
+// the §5.1/§5.2 closed-form I/O bounds built on them, the §5.3 Erdős–Rényi
+// bounds, and the previously published bounds the evaluation compares
+// against (Hong–Kung FFT, Irony–Toledo–Tiskin matrix multiplication,
+// Ballard et al. Strassen).
+package analytic
+
+import (
+	"math"
+	"sort"
+
+	"graphio/internal/core"
+)
+
+// Binomial returns C(n, k) as an exact int64. It panics on overflow-prone
+// inputs (n > 62), which are far beyond any graph this module constructs.
+func Binomial(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if n > 62 {
+		panic("analytic: Binomial overflow range")
+	}
+	if k > n-k {
+		k = n - k
+	}
+	var c int64 = 1
+	for i := 0; i < k; i++ {
+		c = c * int64(n-i) / int64(i+1)
+	}
+	return c
+}
+
+// HypercubeSpectrum returns the Laplacian spectrum of the boolean l-cube
+// Q_l, ascending with multiplicity: eigenvalue 2i repeated C(l, i) times
+// (paper §5.1). The slice has 2^l entries.
+func HypercubeSpectrum(l int) []float64 {
+	vals := make([]float64, 0, 1<<uint(l))
+	for i := 0; i <= l; i++ {
+		mult := Binomial(l, i)
+		for c := int64(0); c < mult; c++ {
+			vals = append(vals, 2*float64(i))
+		}
+	}
+	return vals
+}
+
+// ButterflySpectrum returns the Laplacian spectrum of the unwrapped
+// butterfly graph B_l ((l+1)·2^l vertices), ascending with multiplicity,
+// per Theorem 7 / Appendix A:
+//
+//   - 4 − 4cos(πj/(l+1)) for j = 0..l, each once
+//     (the theorem statement prints πj/l, but the derivation — Lemma 11
+//     applied to the weight-2 path P_{l+1} — and the §5.2 usage give
+//     πj/(l+1); only that version makes the multiplicities sum to
+//     (l+1)·2^l, which this function's tests check against the dense
+//     eigensolver);
+//   - 4 − 4cos(π(2j+1)/(2i+1)) for i = 1..l, j = 0..i−1, each 2^(l−i+1)
+//     times (the paths P'_i with one weighted endpoint);
+//   - 4 − 4cos(πj/(i+1)) for i = 1..l−1, j = 1..i, each (l−i)·2^(l−i−1)
+//     times (the paths P”_i with two weighted endpoints).
+func ButterflySpectrum(l int) []float64 {
+	n := (l + 1) << uint(l)
+	vals := make([]float64, 0, n)
+	push := func(v float64, mult int64) {
+		for c := int64(0); c < mult; c++ {
+			vals = append(vals, v)
+		}
+	}
+	for j := 0; j <= l; j++ {
+		push(4-4*math.Cos(math.Pi*float64(j)/float64(l+1)), 1)
+	}
+	for i := 1; i <= l; i++ {
+		mult := int64(1) << uint(l-i+1)
+		for j := 0; j < i; j++ {
+			push(4-4*math.Cos(math.Pi*float64(2*j+1)/float64(2*i+1)), mult)
+		}
+	}
+	for i := 1; i <= l-1; i++ {
+		mult := int64(l-i) << uint(l-i-1)
+		for j := 1; j <= i; j++ {
+			push(4-4*math.Cos(math.Pi*float64(j)/float64(i+1)), mult)
+		}
+	}
+	sort.Float64s(vals)
+	return vals
+}
+
+// HypercubeBoundSimple evaluates the §5.1 α = 1 closed form for the
+// Bellman–Held–Karp hypercube: J* ≥ 2^(l+1)/(l+1) − 2M(l+1). Nontrivial
+// only once M ≤ 2^l/(l+1)².
+func HypercubeBoundSimple(l, M int) float64 {
+	return math.Exp2(float64(l+1))/float64(l+1) - 2*float64(M)*float64(l+1)
+}
+
+// HypercubeBoundOptimal evaluates the §5.1 closed form optimized over α:
+// the Theorem 5 bound fed with the exact hypercube spectrum and divided by
+// the maximal out-degree l. Returns the clamped bound and the best k.
+func HypercubeBoundOptimal(l, M int) (float64, int) {
+	return HypercubeBoundOptimalK(l, M, 1<<uint(l))
+}
+
+// HypercubeBoundOptimalK is HypercubeBoundOptimal with the k sweep (and
+// the spectrum prefix) truncated at maxK, matching a solver run with
+// h = maxK for apples-to-apples comparisons.
+func HypercubeBoundOptimalK(l, M, maxK int) (float64, int) {
+	n := 1 << uint(l)
+	if maxK > n {
+		maxK = n
+	}
+	spec := HypercubeSpectrum(l)[:maxK]
+	bound, bestK, _ := core.BoundFromEigenvalues(spec, n, M, 1, float64(l))
+	return bound, bestK
+}
+
+// FFTClosedForm evaluates the §5.2 closed form for the 2^l-point FFT
+// butterfly, maximized over the cut level α ∈ {0..l−1}:
+//
+//	J* ≥ (l+1)·2^l·(1 − cos(π/(2(l−α)+1))) − 2^(α+2)·M
+//
+// (k = 2^(α+1) smallest eigenvalues, of which the 2^α copies at i = l−α are
+// kept and the rest dropped to zero; maximal out-degree 2). Returns the
+// clamped bound and the maximizing α.
+func FFTClosedForm(l, M int) (float64, int) {
+	best, bestAlpha := 0.0, -1
+	for alpha := 0; alpha <= l-1; alpha++ {
+		v := FFTClosedFormAt(l, M, alpha)
+		if v > best {
+			best, bestAlpha = v, alpha
+		}
+	}
+	return best, bestAlpha
+}
+
+// FFTClosedFormAt evaluates the §5.2 closed form at a specific α.
+func FFTClosedFormAt(l, M, alpha int) float64 {
+	lam := 1 - math.Cos(math.Pi/float64(2*(l-alpha)+1))
+	return float64(l+1)*math.Exp2(float64(l))*lam - math.Exp2(float64(alpha+2))*float64(M)
+}
+
+// FFTClosedFormPaperAlpha evaluates the closed form at the paper's choice
+// α = l − log2 M (clamped into range), the setting behind the
+// Ω(l·2^l/log²M) comparison with Hong–Kung.
+func FFTClosedFormPaperAlpha(l, M int) float64 {
+	alpha := l - int(math.Round(math.Log2(float64(M))))
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > l-1 {
+		alpha = l - 1
+	}
+	return FFTClosedFormAt(l, M, alpha)
+}
+
+// HongKungFFT evaluates the published asymptotically tight FFT lower bound
+// Ω(l·2^l / log M) (Hong & Kung 1981), as the plain expression value with
+// log base 2. Like every Ω-form here it is a growth-shape reference, not an
+// absolute count.
+func HongKungFFT(l, M int) float64 {
+	if M < 2 {
+		M = 2
+	}
+	return float64(l) * math.Exp2(float64(l)) / math.Log2(float64(M))
+}
+
+// MatMulPublished evaluates the published naive matrix multiplication bound
+// Ω(n³/√M) (Irony, Toledo & Tiskin 2004).
+func MatMulPublished(n, M int) float64 {
+	return math.Pow(float64(n), 3) / math.Sqrt(float64(M))
+}
+
+// StrassenPublished evaluates the published Strassen bound
+// Ω((n/√M)^(log2 7)·M) (Ballard, Demmel, Holtz & Schwartz 2012).
+func StrassenPublished(n, M int) float64 {
+	return math.Pow(float64(n)/math.Sqrt(float64(M)), math.Log2(7)) * float64(M)
+}
+
+// BHKPublished evaluates the bound the paper itself derives for the
+// Bellman–Held–Karp hypercube, Ω(2^l/l − 2Ml) (§6.2), used as the growth
+// reference in Figure 10.
+func BHKPublished(l, M int) float64 {
+	return math.Exp2(float64(l))/float64(l) - 2*float64(M)*float64(l)
+}
+
+// GridSpectrum returns the Laplacian spectrum of the rows×cols 2-D stencil
+// DAG (gen.Grid2D), ascending with multiplicity. The undirected support is
+// the Cartesian product of two paths, so the spectrum is the pairwise-sum
+// set {λ_i(P_rows) + λ_j(P_cols)} with λ_k(P_m) = 2 − 2cos(πk/m) — a new
+// closed-form application of the paper's machinery beyond its own §5
+// examples, demonstrated in TableGrid.
+func GridSpectrum(rows, cols int) []float64 {
+	out := make([]float64, 0, rows*cols)
+	for i := 0; i < rows; i++ {
+		li := 2 - 2*math.Cos(math.Pi*float64(i)/float64(rows))
+		for j := 0; j < cols; j++ {
+			out = append(out, li+2-2*math.Cos(math.Pi*float64(j)/float64(cols)))
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// GridBound evaluates the Theorem 5 bound for the rows×cols stencil DAG
+// from its closed-form spectrum (max out-degree 2). Returns the clamped
+// bound and the best k; maxK truncates the sweep (0 = full spectrum).
+func GridBound(rows, cols, M, maxK int) (float64, int) {
+	n := rows * cols
+	if maxK <= 0 || maxK > n {
+		maxK = n
+	}
+	spec := GridSpectrum(rows, cols)[:maxK]
+	bound, bestK, _ := core.BoundFromEigenvalues(spec, n, M, 1, 2)
+	return bound, bestK
+}
+
+// ErdosRenyiSparseBound evaluates the §5.3 sparse-regime closed form for
+// G(n, p) with p = p0·log n/(n−1), p0 > 6, dropping the vanishing O(·)
+// terms:
+//
+//	J* ≥ n/(1+√(6/p0)) · (1 − √(2/p0)) − 4M
+//
+// (Theorem 5 with k = 2, λ2 from Kolokolnikov et al., dmax concentrated by
+// Chernoff.) Valid with high probability as n → ∞.
+func ErdosRenyiSparseBound(n int, p0 float64, M int) float64 {
+	if p0 <= 6 {
+		return 0
+	}
+	return float64(n)/(1+math.Sqrt(6/p0))*(1-math.Sqrt(2/p0)) - 4*float64(M)
+}
+
+// ErdosRenyiDenseBound evaluates the §5.3 dense-regime closed form
+// (np/log n → ∞): J* ≥ n/2 − 4M, again dropping vanishing terms.
+func ErdosRenyiDenseBound(n, M int) float64 {
+	return float64(n)/2 - 4*float64(M)
+}

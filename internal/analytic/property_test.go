@@ -1,0 +1,81 @@
+package analytic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestButterflySpectrumTraceProperty(t *testing.T) {
+	// Σλ equals the Laplacian trace, which is twice the edge count:
+	// B_l has 2l·2^l edges, so the spectrum must sum to 4l·2^l.
+	f := func(seed int64) bool {
+		l := 1 + int(seed%8)
+		if l < 1 {
+			l = 1
+		}
+		spec := ButterflySpectrum(l)
+		sum := 0.0
+		for _, v := range spec {
+			sum += v
+		}
+		want := 4 * float64(l) * math.Exp2(float64(l))
+		return math.Abs(sum-want) < 1e-6*want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHypercubeSpectrumTraceProperty(t *testing.T) {
+	// Q_l has l·2^(l-1) edges: spectrum sums to l·2^l.
+	f := func(seed int64) bool {
+		l := 1 + int(seed%10)
+		if l < 1 {
+			l = 1
+		}
+		spec := HypercubeSpectrum(l)
+		sum := 0.0
+		for _, v := range spec {
+			sum += v
+		}
+		want := float64(l) * math.Exp2(float64(l))
+		return math.Abs(sum-want) < 1e-6*want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClosedFormsMonotoneInM(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	for trial := 0; trial < 30; trial++ {
+		l := 6 + rng.Intn(8)
+		M := 1 + rng.Intn(32)
+		if v1, _ := FFTClosedForm(l, M); true {
+			v2, _ := FFTClosedForm(l, M+1)
+			if v2 > v1+1e-9 {
+				t.Errorf("FFT closed form increased with M: l=%d M=%d: %g -> %g", l, M, v1, v2)
+			}
+		}
+		h1, _ := HypercubeBoundOptimal(l, M)
+		h2, _ := HypercubeBoundOptimal(l, M+1)
+		if h2 > h1+1e-9 {
+			t.Errorf("hypercube closed form increased with M: l=%d M=%d", l, M)
+		}
+	}
+}
+
+func TestHypercubeBoundOptimalKTruncation(t *testing.T) {
+	// Truncating the sweep can only weaken (or preserve) the bound.
+	for _, l := range []int{7, 9} {
+		for _, M := range []int{1, 2} {
+			full, _ := HypercubeBoundOptimal(l, M)
+			trunc, _ := HypercubeBoundOptimalK(l, M, 10)
+			if trunc > full+1e-9 {
+				t.Errorf("l=%d M=%d: truncated %g above full %g", l, M, trunc, full)
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"time"
+
+	"graphio/internal/graph"
+	"graphio/internal/laplacian"
+	"graphio/internal/mincut"
+)
+
+// LowerBound is one method's certificate inside a BestLowerBound report.
+type LowerBound struct {
+	Method  string
+	Bound   float64
+	Elapsed time.Duration
+}
+
+// BestReport aggregates every automated lower-bound method on one graph.
+type BestReport struct {
+	// Best is the strongest certificate.
+	Best LowerBound
+	// All lists every method's result (theorem4, theorem5, mincut).
+	All []LowerBound
+}
+
+// BestLowerBound runs every automated lower-bound method this module has —
+// the Theorem 4 and Theorem 5 spectral bounds and the convex min-cut
+// baseline — and returns the strongest certificate. This is the one-call
+// entry point for a user who just wants the best provable I/O floor for a
+// graph; mincutTimeout bounds the baseline sweep (0 disables the baseline
+// entirely, which is the right choice above ~50k vertices).
+func BestLowerBound(g *graph.Graph, M int, maxK int, mincutTimeout time.Duration) (*BestReport, error) {
+	rep := &BestReport{}
+	add := func(method string, bound float64, elapsed time.Duration) {
+		lb := LowerBound{Method: method, Bound: bound, Elapsed: elapsed}
+		rep.All = append(rep.All, lb)
+		if bound > rep.Best.Bound || rep.Best.Method == "" {
+			rep.Best = lb
+		}
+	}
+
+	start := time.Now()
+	t4, err := SpectralBound(g, Options{M: M, MaxK: maxK})
+	if err != nil {
+		return nil, err
+	}
+	add("theorem4", t4.Bound, time.Since(start))
+
+	// Theorem 5 reuses nothing from Theorem 4 (different Laplacian), but
+	// is cheap relative to the baseline and occasionally wins on graphs
+	// whose normalized spectrum is flattened by skewed out-degrees.
+	start = time.Now()
+	t5, err := SpectralBound(g, Options{M: M, MaxK: maxK, Laplacian: laplacian.Original})
+	if err != nil {
+		return nil, err
+	}
+	add("theorem5", t5.Bound, time.Since(start))
+
+	if mincutTimeout > 0 {
+		mc, err := mincut.ConvexMinCutBound(g, mincut.Options{M: M, Timeout: mincutTimeout})
+		if err != nil {
+			return nil, err
+		}
+		add("mincut", mc.Bound, mc.Elapsed)
+	}
+	return rep, nil
+}

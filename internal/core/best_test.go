@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBestLowerBoundPicksMax(t *testing.T) {
+	g := hypercubeDAG(7)
+	rep, err := BestLowerBound(g, 8, 60, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.All) != 3 {
+		t.Fatalf("methods=%d want 3", len(rep.All))
+	}
+	for _, lb := range rep.All {
+		if lb.Bound > rep.Best.Bound {
+			t.Errorf("best %v is not the maximum (%v)", rep.Best, lb)
+		}
+	}
+	if rep.Best.Method == "" || rep.Best.Bound <= 0 {
+		t.Errorf("best: %+v", rep.Best)
+	}
+}
+
+func TestBestLowerBoundSkipsMinCutWhenDisabled(t *testing.T) {
+	g := hypercubeDAG(5)
+	rep, err := BestLowerBound(g, 4, 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.All) != 2 {
+		t.Fatalf("methods=%d want 2 with the baseline disabled", len(rep.All))
+	}
+	for _, lb := range rep.All {
+		if lb.Method == "mincut" {
+			t.Error("mincut ran despite a zero timeout")
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"graphio/internal/graph"
+	"graphio/internal/laplacian"
+)
+
+// PartitionBound evaluates the Theorem 2/3 machinery for a *concrete*
+// evaluation order: split the order into k contiguous segments of size
+// ⌊n/k⌋ or ⌈n/k⌉ (the paper's P(X,k) partition, §4.2) and charge each
+// segment its weighted edge boundary,
+//
+//	bound(X, k) = Σ_{S ∈ P(X,k)} Σ_{(u,v) ∈ ∂S} w(u,v)  −  2kM,
+//
+// with w(u,v) = 1/d_out(u) for the normalized kind (Theorem 2) or 1 with a
+// final division by max d_out for the original kind (Theorem 5's view).
+//
+// This is the quantity tr(XᵀL̃XW⁽ᵏ⁾) − 2kM of Theorem 3 evaluated at the
+// permutation X of the given order. Minimized over all topological orders
+// it upper-bounds nothing and lower-bounds J* — but for a *given* order it
+// is a diagnostic: how much I/O does Lemma 1 already certify for this
+// schedule? By the relaxation chain of §4.3, for every k:
+//
+//	⌊n/k⌋·Σ_{i≤k} λ_i(L̃) − 2kM  ≤  PartitionBound(order, k)
+//
+// which the tests exploit to tie Theorems 2, 3 and 4 together.
+func PartitionBound(g *graph.Graph, order []int, k, M int, kind laplacian.Kind) (float64, error) {
+	n := g.N()
+	if k < 1 || k > n {
+		return 0, fmt.Errorf("core: PartitionBound needs 1 ≤ k ≤ n, got k=%d n=%d", k, n)
+	}
+	if M < 1 {
+		return 0, errors.New("core: PartitionBound needs M ≥ 1")
+	}
+	if !g.IsTopological(order) {
+		return 0, errors.New("core: PartitionBound order is not topological")
+	}
+	seg := segmentOf(n, k)
+	segOf := make([]int32, n) // vertex -> segment index
+	for i, v := range order {
+		segOf[v] = seg[i]
+	}
+	var total float64
+	for u := 0; u < n; u++ {
+		var w float64
+		if kind == laplacian.OutDegreeNormalized {
+			w = 1 / float64(g.OutDeg(u))
+		} else {
+			w = 1
+		}
+		for _, v := range g.Succ(u) {
+			if segOf[u] != segOf[v] {
+				// A crossing edge appears in the boundary of *both* its
+				// segments — the producer's (a write) and the consumer's
+				// (a read) — so Σ_S Σ_{∂S} charges it twice, exactly as
+				// Lemma 1 sums |R_S| + |W_S|.
+				total += 2 * w
+			}
+		}
+	}
+	if kind == laplacian.Original {
+		d := g.MaxOutDeg()
+		if d == 0 {
+			d = 1
+		}
+		total /= float64(d)
+	}
+	return total - 2*float64(k)*float64(M), nil
+}
+
+// segmentOf assigns each of n order positions to one of k segments, the
+// first n mod k segments getting ⌈n/k⌉ positions and the rest ⌊n/k⌋
+// (paper §4.2).
+func segmentOf(n, k int) []int32 {
+	out := make([]int32, n)
+	base := n / k
+	rem := n % k
+	pos := 0
+	for s := 0; s < k; s++ {
+		size := base
+		if s < rem {
+			size++
+		}
+		for j := 0; j < size; j++ {
+			out[pos] = int32(s)
+			pos++
+		}
+	}
+	return out
+}
+
+// BestPartitionBound maximizes PartitionBound over k ∈ {1..maxK} for a
+// concrete order, returning the best value and its k. This is the
+// strongest certificate Lemma 1's equal-segment specialization gives for
+// that schedule.
+func BestPartitionBound(g *graph.Graph, order []int, maxK, M int, kind laplacian.Kind) (float64, int, error) {
+	n := g.N()
+	if n == 0 {
+		return 0, 0, nil
+	}
+	if maxK > n {
+		maxK = n
+	}
+	best, bestK := 0.0, 0
+	for k := 1; k <= maxK; k++ {
+		v, err := PartitionBound(g, order, k, M, kind)
+		if err != nil {
+			return 0, 0, err
+		}
+		if v > best {
+			best, bestK = v, k
+		}
+	}
+	return best, bestK, nil
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomSpectrum builds a plausible ascending PSD spectrum prefix.
+func randomSpectrum(rng *rand.Rand, h int) []float64 {
+	out := make([]float64, h)
+	acc := 0.0
+	for i := range out {
+		out[i] = acc
+		acc += rng.Float64()
+	}
+	return out
+}
+
+func TestBoundMonotoneInMProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := 1 + rng.Intn(30)
+		lam := randomSpectrum(rng, h)
+		n := h + rng.Intn(500)
+		M := 1 + rng.Intn(64)
+		b1, _, _ := BoundFromEigenvalues(lam, n, M, 1, 1)
+		b2, _, _ := BoundFromEigenvalues(lam, n, M+1, 1, 1)
+		return b2 <= b1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundMonotoneInProcessorsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := 1 + rng.Intn(30)
+		lam := randomSpectrum(rng, h)
+		n := h + rng.Intn(500)
+		M := 1 + rng.Intn(16)
+		p := 1 + rng.Intn(8)
+		b1, _, _ := BoundFromEigenvalues(lam, n, M, p, 1)
+		b2, _, _ := BoundFromEigenvalues(lam, n, M, p+1, 1)
+		return b2 <= b1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundMonotoneInDivisorProperty(t *testing.T) {
+	// A larger divisor (larger max out-degree under Theorem 5) weakens the
+	// bound.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := 1 + rng.Intn(30)
+		lam := randomSpectrum(rng, h)
+		n := h + rng.Intn(500)
+		M := 1 + rng.Intn(16)
+		d := 1 + rng.Float64()*8
+		b1, _, _ := BoundFromEigenvalues(lam, n, M, 1, d)
+		b2, _, _ := BoundFromEigenvalues(lam, n, M, 1, d*1.5)
+		return b2 <= b1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundPrefixMonotoneProperty(t *testing.T) {
+	// Extending the spectrum prefix (larger h) can only improve or
+	// preserve the maximized bound: the sweep considers a superset of k.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := 2 + rng.Intn(30)
+		lam := randomSpectrum(rng, h)
+		n := h + rng.Intn(500)
+		M := 1 + rng.Intn(16)
+		bShort, _, _ := BoundFromEigenvalues(lam[:h-1], n, M, 1, 1)
+		bFull, _, _ := BoundFromEigenvalues(lam, n, M, 1, 1)
+		return bFull >= bShort-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"graphio/internal/core"
+)
+
+// Config scopes the experiment sweeps. The zero value is unusable; start
+// from DefaultConfig (paper-like sweeps sized for minutes of runtime) or
+// QuickConfig (seconds; used by tests and benchmarks).
+type Config struct {
+	// Figure 7: 2^l-point FFT.
+	FFTLevels   []int
+	FFTMemories []int
+
+	// Figure 8: n×n naive matrix multiplication (n-ary sums, as in the
+	// paper's tracer).
+	MatMulSizes    []int
+	MatMulMemories []int
+
+	// Figure 9: n×n Strassen multiplication.
+	StrassenSizes    []int
+	StrassenMemories []int
+
+	// Figures 10 and 11: l-city Bellman–Held–Karp.
+	BHKCities   []int
+	BHKMemories []int
+
+	// Baseline control: the convex min-cut sweep is time-boxed per graph
+	// (the paper used a one-day cutoff on its testbed) and skipped
+	// entirely above MinCutMaxN vertices.
+	MinCutTimeout time.Duration
+	MinCutMaxN    int
+
+	// Spectral solver configuration.
+	Solver core.Solver
+	MaxK   int
+
+	// Validation/ablation table control.
+	SandwichSamples int // random orders tried per upper-bound search
+	ERSizes         []int
+	ERP0            float64
+	Seed            int64
+
+	// Progress, when non-nil, receives one line per completed figure data
+	// point (the sweeps over large graphs can take minutes per point).
+	Progress io.Writer
+}
+
+// DefaultConfig returns paper-like sweeps trimmed to commodity-hardware
+// runtimes (minutes). Extend the slices toward the paper's largest sizes
+// (FFT l=12, matmul n=64, BHK l=15) for a full-scale run.
+func DefaultConfig() Config {
+	return Config{
+		FFTLevels:        []int{3, 4, 5, 6, 7, 8, 9, 10},
+		FFTMemories:      []int{4, 8, 16},
+		MatMulSizes:      []int{4, 8, 12, 16, 20, 24, 28, 32},
+		MatMulMemories:   []int{32, 64, 128},
+		StrassenSizes:    []int{4, 8, 16},
+		StrassenMemories: []int{8, 16},
+		BHKCities:        []int{6, 7, 8, 9, 10, 11, 12},
+		BHKMemories:      []int{16, 32, 64},
+		MinCutTimeout:    20 * time.Second,
+		MinCutMaxN:       40000,
+		Solver:           core.SolverAuto,
+		MaxK:             100,
+		SandwichSamples:  20,
+		ERSizes:          []int{128, 256, 512},
+		ERP0:             12,
+		Seed:             1,
+	}
+}
+
+// QuickConfig returns a miniature sweep for tests and benchmarks.
+func QuickConfig() Config {
+	return Config{
+		FFTLevels:        []int{3, 4, 5},
+		FFTMemories:      []int{4, 8},
+		MatMulSizes:      []int{4, 8},
+		MatMulMemories:   []int{32, 64},
+		StrassenSizes:    []int{4, 8},
+		StrassenMemories: []int{8, 16},
+		BHKCities:        []int{6, 7, 8},
+		BHKMemories:      []int{16, 32},
+		MinCutTimeout:    5 * time.Second,
+		MinCutMaxN:       5000,
+		Solver:           core.SolverAuto,
+		MaxK:             60,
+		SandwichSamples:  8,
+		ERSizes:          []int{96, 128},
+		ERP0:             12,
+		Seed:             1,
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"graphio/internal/gen"
+	"graphio/internal/graph"
+)
+
+// Runner names one experiment and how to produce its table.
+type Runner struct {
+	Name string
+	Run  func(Config) (*Table, error)
+}
+
+// Runners returns every experiment in DESIGN.md's index (F7-F11, T1-T3,
+// V1, A1, A3), in presentation order.
+func Runners() []Runner {
+	fft := func(l int) *graph.Graph { return gen.FFT(l) }
+	mm := func(n int) *graph.Graph { return gen.NaiveMatMulNary(n) }
+	st := func(n int) *graph.Graph { return gen.Strassen(n) }
+	bhk := func(l int) *graph.Graph { return gen.BellmanHeldKarp(l) }
+	return []Runner{
+		{"fig7", func(c Config) (*Table, error) { return Figure7(c, fft) }},
+		{"fig8", func(c Config) (*Table, error) { return Figure8(c, mm) }},
+		{"fig9", func(c Config) (*Table, error) { return Figure9(c, st) }},
+		{"fig10", func(c Config) (*Table, error) { return Figure10(c, bhk) }},
+		{"fig11", func(c Config) (*Table, error) { return Figure11(c, bhk) }},
+		{"hypercube", TableHypercube},
+		{"fft", TableFFT},
+		{"er", TableER},
+		{"sandwich", TableSandwich},
+		{"bestk", TableBestK},
+		{"thm4vs5", TableThm4vs5},
+		{"parallel", TableParallel},
+		{"mincut-partitioned", TablePartitionedMinCut},
+		{"scheduler", TableScheduler},
+		{"lambda2", TableLambda2},
+		{"exact", TableExact},
+		{"expansion", TableExpansion},
+		{"grid", TableGrid},
+		{"hongkung", TableHongKung},
+		{"hier", TableHier},
+	}
+}
+
+// RunAll executes the selected experiments (all of them when names is
+// empty), writes <name>.csv per experiment plus a combined report.txt into
+// outDir (created if needed, skipped if empty), streams progress to log,
+// and returns the tables.
+func RunAll(cfg Config, outDir string, names []string, log io.Writer) ([]*Table, error) {
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	var tables []*Table
+	for _, r := range Runners() {
+		if len(want) > 0 && !want[r.Name] {
+			continue
+		}
+		fmt.Fprintf(log, "== running %s\n", r.Name)
+		t, err := r.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", r.Name, err)
+		}
+		tables = append(tables, t)
+		if err := t.WriteText(log); err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(log)
+		// Persist each table as soon as it exists: long sweeps should not
+		// lose completed experiments to a crash or a kill.
+		if outDir != "" {
+			if err := writeCSV(outDir, t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("no experiment matches %v", names)
+	}
+	if outDir != "" {
+		report, err := os.Create(filepath.Join(outDir, "report.txt"))
+		if err != nil {
+			return nil, err
+		}
+		defer report.Close()
+		for _, t := range tables {
+			if err := t.WriteText(report); err != nil {
+				return nil, err
+			}
+			fmt.Fprintln(report)
+		}
+	}
+	return tables, nil
+}
+
+func writeCSV(outDir string, t *Table) error {
+	f, err := os.Create(filepath.Join(outDir, t.Name+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,99 @@
+// Package experiments regenerates every figure and closed-form table of
+// the paper's evaluation (Figures 7-11, the Section 5 analyses) plus the
+// validation and ablation tables DESIGN.md indexes (sandwich, best-k,
+// Theorem 4 vs 5). Each experiment returns a Table that can be rendered as
+// CSV (for plotting) or aligned text (for reading); RunAll writes them all
+// into a directory and is what cmd/experiments drives.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rectangular result set with named columns.
+type Table struct {
+	Name    string // short slug, used for file names
+	Title   string // human-readable description
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; it must match the column count.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("experiments: row of %d cells in table %q with %d columns",
+			len(cells), t.Name, len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// WriteCSV renders the table as CSV with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteText renders the table with aligned columns for terminals and logs.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, cell := range r {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", t.Name, t.Title)
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, wd := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", wd))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// fnum formats a float compactly for table cells.
+func fnum(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15 && v > -1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 1e6 || v <= -1e6:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func inum(v int) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,341 @@
+// Package gen constructs the computation graphs the paper analyzes and
+// evaluates on (§5, §6): the FFT butterfly, naive and Strassen matrix
+// multiplication, the Bellman–Held–Karp hypercube, Erdős–Rényi random DAGs,
+// and assorted small graphs for tests and examples. The arithmetic-based
+// generators (inner product, matrix multiplication, Strassen) are built on
+// the trace package, mirroring how the paper's solver extracts graphs from
+// real computations.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"graphio/internal/graph"
+	"graphio/internal/trace"
+)
+
+// InnerProduct returns the computation graph of the inner product of two
+// n-element vectors: 2n inputs, n products, and a chain of n−1 adds. With
+// n = 2 this is the 7-vertex graph of the paper's Figure 1.
+func InnerProduct(n int) *graph.Graph {
+	if n < 1 {
+		panic("gen: InnerProduct needs n ≥ 1")
+	}
+	tr := trace.New()
+	x := tr.Inputs("x", n)
+	y := tr.Inputs("y", n)
+	prods := make([]trace.Value, n)
+	for i := 0; i < n; i++ {
+		prods[i] = x[i].Mul(y[i])
+	}
+	trace.ReduceAdd(prods)
+	return tr.MustGraph(fmt.Sprintf("inner-product-%d", n))
+}
+
+// FFT returns the computation graph of a 2^l-point fast Fourier transform:
+// the unwrapped butterfly graph B_l with (l+1)·2^l vertices arranged in
+// l+1 columns of 2^l rows (paper Figure 5). The vertex in column t, row r
+// (t ≥ 1) consumes the column t−1 vertices at rows r and r XOR 2^(t−1).
+func FFT(l int) *graph.Graph {
+	if l < 0 {
+		panic("gen: FFT needs l ≥ 0")
+	}
+	rows := 1 << l
+	b := graph.NewBuilder((l+1)*rows, 2*l*rows)
+	b.SetName(fmt.Sprintf("fft-%d", l))
+	b.AddVertices((l + 1) * rows)
+	id := func(col, row int) int { return col*rows + row }
+	for t := 1; t <= l; t++ {
+		stride := 1 << (t - 1)
+		for r := 0; r < rows; r++ {
+			b.MustEdge(id(t-1, r), id(t, r))
+			b.MustEdge(id(t-1, r^stride), id(t, r))
+		}
+	}
+	return b.MustBuild()
+}
+
+// Butterfly is an alias for FFT; the literature names the graph, the
+// evaluation names the computation.
+func Butterfly(l int) *graph.Graph { return FFT(l) }
+
+// NaiveMatMul returns the computation graph of the naive n×n matrix product
+// C = A·B built through the tracer: C_ij = Σ_k A_ik·B_kj with a chain of
+// adds, giving 2n² inputs, n³ multiplies, and n²(n−1) adds.
+func NaiveMatMul(n int) *graph.Graph {
+	if n < 1 {
+		panic("gen: NaiveMatMul needs n ≥ 1")
+	}
+	tr := trace.New()
+	A := inputMatrix(tr, "a", n)
+	B := inputMatrix(tr, "b", n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			prods := make([]trace.Value, n)
+			for k := 0; k < n; k++ {
+				prods[k] = A[i][k].Mul(B[k][j])
+			}
+			trace.ReduceAdd(prods)
+		}
+	}
+	return tr.MustGraph(fmt.Sprintf("matmul-%d", n))
+}
+
+// NaiveMatMulNary is NaiveMatMul with each C_ij computed by a single n-ary
+// sum vertex instead of a chain of binary adds: 2n² inputs, n³ multiplies,
+// n² sums, and maximum in-degree n. This mirrors the graph the paper's
+// Python tracer extracts (Figure 8 notes "max in-degree n") and is what the
+// Figure 8 harness uses; the binary-add variant above is the conventional
+// arithmetic circuit.
+func NaiveMatMulNary(n int) *graph.Graph {
+	if n < 1 {
+		panic("gen: NaiveMatMulNary needs n ≥ 1")
+	}
+	tr := trace.New()
+	A := inputMatrix(tr, "a", n)
+	B := inputMatrix(tr, "b", n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			prods := make([]trace.Value, n)
+			for k := 0; k < n; k++ {
+				prods[k] = A[i][k].Mul(B[k][j])
+			}
+			if n == 1 {
+				continue // the single product is C_ij itself
+			}
+			tr.Op("sum", prods...)
+		}
+	}
+	return tr.MustGraph(fmt.Sprintf("matmul-nary-%d", n))
+}
+
+// Strassen returns the computation graph of Strassen's recursive n×n matrix
+// product (n must be a power of two). The recursion bottoms out at 1×1
+// scalar multiplication, so the graph realizes the full O(n^log2 7)
+// multiplication count the published bound speaks about.
+func Strassen(n int) *graph.Graph {
+	if n < 1 || n&(n-1) != 0 {
+		panic("gen: Strassen needs n a positive power of two")
+	}
+	tr := trace.New()
+	A := inputMatrix(tr, "a", n)
+	B := inputMatrix(tr, "b", n)
+	strassenRec(A, B)
+	return tr.MustGraph(fmt.Sprintf("strassen-%d", n))
+}
+
+func inputMatrix(tr *trace.Tracer, name string, n int) [][]trace.Value {
+	m := make([][]trace.Value, n)
+	for i := range m {
+		m[i] = make([]trace.Value, n)
+		for j := range m[i] {
+			m[i][j] = tr.Input(fmt.Sprintf("%s%d,%d", name, i, j))
+		}
+	}
+	return m
+}
+
+func matAdd(a, b [][]trace.Value) [][]trace.Value {
+	n := len(a)
+	out := make([][]trace.Value, n)
+	for i := range out {
+		out[i] = make([]trace.Value, n)
+		for j := range out[i] {
+			out[i][j] = a[i][j].Add(b[i][j])
+		}
+	}
+	return out
+}
+
+func matSub(a, b [][]trace.Value) [][]trace.Value {
+	n := len(a)
+	out := make([][]trace.Value, n)
+	for i := range out {
+		out[i] = make([]trace.Value, n)
+		for j := range out[i] {
+			out[i][j] = a[i][j].Sub(b[i][j])
+		}
+	}
+	return out
+}
+
+func quadrant(a [][]trace.Value, qi, qj int) [][]trace.Value {
+	h := len(a) / 2
+	out := make([][]trace.Value, h)
+	for i := range out {
+		out[i] = a[qi*h+i][qj*h : qj*h+h]
+	}
+	return out
+}
+
+func assemble(c11, c12, c21, c22 [][]trace.Value) [][]trace.Value {
+	h := len(c11)
+	out := make([][]trace.Value, 2*h)
+	for i := 0; i < h; i++ {
+		out[i] = append(append([]trace.Value{}, c11[i]...), c12[i]...)
+		out[h+i] = append(append([]trace.Value{}, c21[i]...), c22[i]...)
+	}
+	return out
+}
+
+// strassenRec multiplies square matrices of power-of-two size with
+// Strassen's seven-product recursion.
+func strassenRec(a, b [][]trace.Value) [][]trace.Value {
+	n := len(a)
+	if n == 1 {
+		return [][]trace.Value{{a[0][0].Mul(b[0][0])}}
+	}
+	a11, a12, a21, a22 := quadrant(a, 0, 0), quadrant(a, 0, 1), quadrant(a, 1, 0), quadrant(a, 1, 1)
+	b11, b12, b21, b22 := quadrant(b, 0, 0), quadrant(b, 0, 1), quadrant(b, 1, 0), quadrant(b, 1, 1)
+
+	m1 := strassenRec(matAdd(a11, a22), matAdd(b11, b22))
+	m2 := strassenRec(matAdd(a21, a22), b11)
+	m3 := strassenRec(a11, matSub(b12, b22))
+	m4 := strassenRec(a22, matSub(b21, b11))
+	m5 := strassenRec(matAdd(a11, a12), b22)
+	m6 := strassenRec(matSub(a21, a11), matAdd(b11, b12))
+	m7 := strassenRec(matSub(a12, a22), matAdd(b21, b22))
+
+	c11 := matAdd(matSub(matAdd(m1, m4), m5), m7)
+	c12 := matAdd(m3, m5)
+	c21 := matAdd(m2, m4)
+	c22 := matAdd(matAdd(matSub(m1, m2), m3), m6)
+	return assemble(c11, c12, c21, c22)
+}
+
+// BellmanHeldKarp returns the computation graph of the Bellman–Held–Karp
+// dynamic program for an l-city TSP: the boolean l-dimensional hypercube
+// with an edge from subset k1 to k2 whenever k2 adds exactly one city
+// (paper §5.1, Figure 4). It has 2^l vertices.
+func BellmanHeldKarp(l int) *graph.Graph {
+	if l < 1 {
+		panic("gen: BellmanHeldKarp needs l ≥ 1")
+	}
+	n := 1 << l
+	b := graph.NewBuilder(n, n*l/2)
+	b.SetName(fmt.Sprintf("bhk-%d", l))
+	b.AddVertices(n)
+	for k := 0; k < n; k++ {
+		for bit := 0; bit < l; bit++ {
+			if k&(1<<bit) == 0 {
+				b.MustEdge(k, k|1<<bit)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Hypercube is an alias for BellmanHeldKarp; the literature names the
+// graph, the evaluation names the computation.
+func Hypercube(l int) *graph.Graph { return BellmanHeldKarp(l) }
+
+// ErdosRenyiDAG samples G(n, p) restricted to a DAG: each pair u < v is an
+// edge u→v independently with probability p. The undirected support is
+// exactly an Erdős–Rényi graph, which is what §5.3 analyzes; orienting by
+// vertex order makes it a valid computation graph.
+func ErdosRenyiDAG(n int, p float64, seed int64) *graph.Graph {
+	if n < 0 || p < 0 || p > 1 {
+		panic("gen: ErdosRenyiDAG needs n ≥ 0 and p in [0,1]")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n, int(p*float64(n)*float64(n)/2))
+	b.SetName(fmt.Sprintf("er-%d-%g", n, p))
+	b.AddVertices(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.MustEdge(u, v)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// RandomLayeredDAG samples a layered computation graph: `layers` layers of
+// `width` vertices, each vertex in layer t > 0 consuming a uniformly
+// random nonempty subset of up to maxIn vertices from layer t−1. Layered
+// DAGs model pipelined computations (neural network layers, streaming
+// operators) and exercise shapes the upper-triangular Erdős–Rényi sampler
+// cannot: bounded depth-to-width ratios and uniform in-degrees.
+func RandomLayeredDAG(layers, width, maxIn int, seed int64) *graph.Graph {
+	if layers < 1 || width < 1 || maxIn < 1 {
+		panic("gen: RandomLayeredDAG needs positive dimensions")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(layers*width, layers*width*maxIn)
+	b.SetName(fmt.Sprintf("layered-%dx%d", layers, width))
+	b.AddVertices(layers * width)
+	for t := 1; t < layers; t++ {
+		for j := 0; j < width; j++ {
+			v := t*width + j
+			k := 1 + rng.Intn(maxIn)
+			if k > width {
+				k = width
+			}
+			seen := map[int]bool{}
+			for len(seen) < k {
+				u := (t-1)*width + rng.Intn(width)
+				if !seen[u] {
+					seen[u] = true
+					b.MustEdge(u, v)
+				}
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Chain returns the path computation graph 0 → 1 → … → n−1.
+func Chain(n int) *graph.Graph {
+	b := graph.NewBuilder(n, n-1)
+	b.SetName(fmt.Sprintf("chain-%d", n))
+	b.AddVertices(n)
+	for v := 1; v < n; v++ {
+		b.MustEdge(v-1, v)
+	}
+	return b.MustBuild()
+}
+
+// BinaryTreeReduce returns a complete binary reduction tree with 2^depth
+// leaves (inputs) and 2^depth − 1 internal vertices feeding toward a single
+// root output.
+func BinaryTreeReduce(depth int) *graph.Graph {
+	if depth < 0 {
+		panic("gen: BinaryTreeReduce needs depth ≥ 0")
+	}
+	tr := trace.New()
+	level := tr.Inputs("x", 1<<depth)
+	for len(level) > 1 {
+		next := make([]trace.Value, len(level)/2)
+		for i := range next {
+			next[i] = level[2*i].Add(level[2*i+1])
+		}
+		level = next
+	}
+	return tr.MustGraph(fmt.Sprintf("tree-%d", depth))
+}
+
+// Grid2D returns a rows×cols stencil DAG: vertex (i, j) consumes (i−1, j)
+// and (i, j−1), the dependency structure of many dynamic programs (edit
+// distance, cumulative sums).
+func Grid2D(rows, cols int) *graph.Graph {
+	if rows < 1 || cols < 1 {
+		panic("gen: Grid2D needs positive dimensions")
+	}
+	b := graph.NewBuilder(rows*cols, 2*rows*cols)
+	b.SetName(fmt.Sprintf("grid-%dx%d", rows, cols))
+	b.AddVertices(rows * cols)
+	id := func(i, j int) int { return i*cols + j }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if i > 0 {
+				b.MustEdge(id(i-1, j), id(i, j))
+			}
+			if j > 0 {
+				b.MustEdge(id(i, j-1), id(i, j))
+			}
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,259 @@
+package gen
+
+import (
+	"testing"
+)
+
+func TestInnerProductCounts(t *testing.T) {
+	// 2n inputs, n mults, n−1 adds; Figure 1 for n = 2.
+	for _, n := range []int{1, 2, 5} {
+		g := InnerProduct(n)
+		wantN := 2*n + n + (n - 1)
+		if g.N() != wantN {
+			t.Errorf("n=%d: N=%d want %d", n, g.N(), wantN)
+		}
+		if len(g.Sources()) != 2*n || len(g.Sinks()) != 1 {
+			t.Errorf("n=%d: sources=%d sinks=%d", n, len(g.Sources()), len(g.Sinks()))
+		}
+	}
+}
+
+func TestFFTShape(t *testing.T) {
+	for _, l := range []int{0, 1, 2, 3, 6} {
+		g := FFT(l)
+		rows := 1 << l
+		if g.N() != (l+1)*rows {
+			t.Errorf("l=%d: N=%d want %d", l, g.N(), (l+1)*rows)
+		}
+		if g.M() != 2*l*rows {
+			t.Errorf("l=%d: M=%d want %d", l, g.M(), 2*l*rows)
+		}
+		if len(g.Sources()) != rows || len(g.Sinks()) != rows {
+			t.Errorf("l=%d: sources=%d sinks=%d want %d each", l, len(g.Sources()), len(g.Sinks()), rows)
+		}
+		if l > 0 {
+			if g.MaxInDeg() != 2 || g.MaxOutDeg() != 2 {
+				t.Errorf("l=%d: degrees in=%d out=%d want 2,2", l, g.MaxInDeg(), g.MaxOutDeg())
+			}
+		}
+		// Every non-input vertex has exactly two distinct parents.
+		for v := rows; v < g.N(); v++ {
+			if g.InDeg(v) != 2 {
+				t.Fatalf("l=%d: vertex %d has in-degree %d", l, v, g.InDeg(v))
+			}
+		}
+	}
+}
+
+func TestFFT2MatchesPaperFigure5(t *testing.T) {
+	// Figure 5: the 4-point FFT has 12 vertices in 3 columns of 4.
+	g := FFT(2)
+	if g.N() != 12 || g.M() != 16 {
+		t.Fatalf("N=%d M=%d want 12,16", g.N(), g.M())
+	}
+}
+
+func TestNaiveMatMulCounts(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		g := NaiveMatMul(n)
+		wantN := 2*n*n + n*n*n + n*n*(n-1)
+		if g.N() != wantN {
+			t.Errorf("n=%d: N=%d want %d", n, g.N(), wantN)
+		}
+		if len(g.Sources()) != 2*n*n {
+			t.Errorf("n=%d: sources=%d want %d", n, len(g.Sources()), 2*n*n)
+		}
+		if len(g.Sinks()) != n*n {
+			t.Errorf("n=%d: sinks=%d want %d", n, len(g.Sinks()), n*n)
+		}
+	}
+}
+
+func TestNaiveMatMulNaryCounts(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		g := NaiveMatMulNary(n)
+		wantN := 2*n*n + n*n*n + n*n
+		if g.N() != wantN {
+			t.Errorf("n=%d: N=%d want %d", n, g.N(), wantN)
+		}
+		if g.MaxInDeg() != n {
+			t.Errorf("n=%d: max in-degree %d want %d", n, g.MaxInDeg(), n)
+		}
+	}
+	// n=1: the product is the output; no sum vertex.
+	if g := NaiveMatMulNary(1); g.N() != 3 {
+		t.Errorf("n=1: N=%d want 3", g.N())
+	}
+}
+
+func TestStrassenCounts(t *testing.T) {
+	// n=1: 2 inputs + 1 multiply. For general n = 2^m the operation count
+	// follows ops(n) = 7·ops(n/2) + 18·(n/2)² with ops(1) = 1, plus the
+	// 2n² inputs.
+	for _, n := range []int{1, 2, 4, 8} {
+		g := Strassen(n)
+		want := 2*n*n + opsHelper(n)
+		if g.N() != want {
+			t.Errorf("n=%d: N=%d want %d", n, g.N(), want)
+		}
+		if len(g.Sources()) != 2*n*n {
+			t.Errorf("n=%d: sources=%d", n, len(g.Sources()))
+		}
+	}
+}
+
+func opsHelper(n int) int {
+	if n == 1 {
+		return 1
+	}
+	return 7*opsHelper(n/2) + 18*(n/2)*(n/2)
+}
+
+func TestStrassenRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Strassen(3) should panic")
+		}
+	}()
+	Strassen(3)
+}
+
+func TestBellmanHeldKarpShape(t *testing.T) {
+	for _, l := range []int{1, 3, 6} {
+		g := BellmanHeldKarp(l)
+		n := 1 << l
+		if g.N() != n {
+			t.Errorf("l=%d: N=%d", l, g.N())
+		}
+		if g.M() != l*n/2 {
+			t.Errorf("l=%d: M=%d want %d", l, g.M(), l*n/2)
+		}
+		if len(g.Sources()) != 1 || g.Sources()[0] != 0 {
+			t.Errorf("l=%d: sources=%v", l, g.Sources())
+		}
+		if len(g.Sinks()) != 1 || g.Sinks()[0] != n-1 {
+			t.Errorf("l=%d: sinks=%v", l, g.Sinks())
+		}
+		if g.MaxOutDeg() != l || g.MaxInDeg() != l {
+			t.Errorf("l=%d: degrees %d/%d", l, g.MaxOutDeg(), g.MaxInDeg())
+		}
+	}
+}
+
+func TestErdosRenyiDAG(t *testing.T) {
+	g0 := ErdosRenyiDAG(20, 0, 1)
+	if g0.M() != 0 {
+		t.Errorf("p=0 produced %d edges", g0.M())
+	}
+	g1 := ErdosRenyiDAG(20, 1, 1)
+	if g1.M() != 20*19/2 {
+		t.Errorf("p=1 produced %d edges, want %d", g1.M(), 20*19/2)
+	}
+	a := ErdosRenyiDAG(30, 0.3, 7)
+	b := ErdosRenyiDAG(30, 0.3, 7)
+	if a.M() != b.M() {
+		t.Error("same seed should reproduce the same graph")
+	}
+	c := ErdosRenyiDAG(30, 0.3, 8)
+	if a.M() == c.M() && a.N() == c.N() {
+		// Edge counts could coincide by chance; compare edge lists.
+		ae, ce := a.Edges(), c.Edges()
+		same := len(ae) == len(ce)
+		if same {
+			for i := range ae {
+				if ae[i] != ce[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestRandomLayeredDAG(t *testing.T) {
+	g := RandomLayeredDAG(5, 8, 3, 1)
+	if g.N() != 40 {
+		t.Fatalf("N=%d", g.N())
+	}
+	// Every non-input vertex has 1..3 parents, all from the previous layer.
+	for v := 8; v < 40; v++ {
+		in := g.InDeg(v)
+		if in < 1 || in > 3 {
+			t.Fatalf("vertex %d in-degree %d", v, in)
+		}
+		layer := v / 8
+		for _, p := range g.Pred(v) {
+			if int(p)/8 != layer-1 {
+				t.Fatalf("vertex %d has parent %d outside the previous layer", v, p)
+			}
+		}
+	}
+	// Determinism per seed.
+	a, b := RandomLayeredDAG(4, 6, 2, 7), RandomLayeredDAG(4, 6, 2, 7)
+	if a.M() != b.M() {
+		t.Error("same seed gave different graphs")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad dimensions should panic")
+		}
+	}()
+	RandomLayeredDAG(0, 3, 1, 1)
+}
+
+func TestChainTreeGrid(t *testing.T) {
+	c := Chain(5)
+	if c.N() != 5 || c.M() != 4 {
+		t.Errorf("chain: N=%d M=%d", c.N(), c.M())
+	}
+	tr := BinaryTreeReduce(3)
+	if tr.N() != 8+7 || len(tr.Sinks()) != 1 {
+		t.Errorf("tree: N=%d sinks=%d", tr.N(), len(tr.Sinks()))
+	}
+	gd := Grid2D(3, 4)
+	if gd.N() != 12 {
+		t.Errorf("grid: N=%d", gd.N())
+	}
+	// Edge count: (rows−1)·cols vertical + rows·(cols−1) horizontal.
+	if gd.M() != 2*4+3*3 {
+		t.Errorf("grid: M=%d want %d", gd.M(), 2*4+3*3)
+	}
+	if gd.MaxInDeg() != 2 {
+		t.Errorf("grid: max in-degree %d", gd.MaxInDeg())
+	}
+}
+
+func TestGeneratorsPanicOnBadInput(t *testing.T) {
+	cases := []func(){
+		func() { InnerProduct(0) },
+		func() { FFT(-1) },
+		func() { NaiveMatMul(0) },
+		func() { Strassen(0) },
+		func() { BellmanHeldKarp(0) },
+		func() { ErdosRenyiDAG(5, -0.1, 1) },
+		func() { BinaryTreeReduce(-1) },
+		func() { Grid2D(0, 3) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAliases(t *testing.T) {
+	if Butterfly(3).N() != FFT(3).N() {
+		t.Error("Butterfly should alias FFT")
+	}
+	if Hypercube(3).N() != BellmanHeldKarp(3).N() {
+		t.Error("Hypercube should alias BellmanHeldKarp")
+	}
+}

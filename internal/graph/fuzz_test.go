@@ -1,0 +1,47 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON checks the graph parser never panics and that everything it
+// accepts survives a serialize/parse round trip. `go test` exercises the
+// seed corpus; `go test -fuzz=FuzzReadJSON ./internal/graph` explores.
+func FuzzReadJSON(f *testing.F) {
+	seeds := []string{
+		`{"name":"d","n":4,"edges":[[0,1],[0,2],[1,3],[2,3]]}`,
+		`{"name":"","n":0,"edges":[]}`,
+		`{"n":2,"edges":[[0,1],[1,0]]}`,
+		`{"n":-5}`,
+		`{"n":1000000000,"edges":[]}`,
+		`[]`,
+		`{"n":3,"edges":[[0,1],[0,1],[0,0]]}`,
+		"",
+		`{"n":2,"edges":[[0,1`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		g, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			t.Fatalf("serializing an accepted graph failed: %v", err)
+		}
+		g2, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed shape: (%d,%d) vs (%d,%d)", g.N(), g.M(), g2.N(), g2.M())
+		}
+	})
+}

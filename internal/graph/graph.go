@@ -1,0 +1,438 @@
+// Package graph provides the directed computation-graph substrate used by
+// every other package in this module.
+//
+// A computation graph is a DAG: each vertex is a single operation (inputs and
+// outputs included), and an edge (u, v) means operation v consumes the result
+// of operation u. Graphs are immutable once built; construct them with a
+// Builder. Adjacency is stored in flattened compressed form so that graphs
+// with hundreds of thousands of vertices stay cache-friendly.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable directed acyclic computation graph. Vertices are
+// identified by dense integer IDs in [0, N()).
+type Graph struct {
+	name string
+
+	// Flattened adjacency: successors of v are succ[succPtr[v]:succPtr[v+1]],
+	// predecessors are pred[predPtr[v]:predPtr[v+1]]. Both are sorted and
+	// deduplicated.
+	succPtr []int32
+	succ    []int32
+	predPtr []int32
+	pred    []int32
+
+	m int // number of (deduplicated) directed edges
+}
+
+// Builder accumulates vertices and edges and produces an immutable Graph.
+// The zero value is ready to use.
+type Builder struct {
+	name  string
+	edges [][2]int32
+	n     int
+}
+
+// NewBuilder returns a Builder with capacity hints for n vertices and m edges.
+func NewBuilder(n, m int) *Builder {
+	b := &Builder{}
+	if m > 0 {
+		b.edges = make([][2]int32, 0, m)
+	}
+	if n > 0 {
+		b.n = 0
+	}
+	return b
+}
+
+// SetName sets the human-readable name recorded on the built graph.
+func (b *Builder) SetName(name string) { b.name = name }
+
+// AddVertex allocates a fresh vertex and returns its ID.
+func (b *Builder) AddVertex() int {
+	id := b.n
+	b.n++
+	return id
+}
+
+// AddVertices allocates k fresh vertices and returns the first ID; the
+// allocated IDs are contiguous.
+func (b *Builder) AddVertices(k int) int {
+	if k < 0 {
+		panic("graph: AddVertices with negative count")
+	}
+	id := b.n
+	b.n += k
+	return id
+}
+
+// NumVertices reports the number of vertices allocated so far.
+func (b *Builder) NumVertices() int { return b.n }
+
+// AddEdge records the directed edge (u, v): operation v consumes u's result.
+// Self-loops are rejected immediately; duplicate edges are deduplicated at
+// Build time (an operation that uses the same operand twice, such as x*x,
+// contributes a single graph edge).
+func (b *Builder) AddEdge(u, v int) error {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) references vertex outside [0,%d)", u, v, b.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop on vertex %d", u)
+	}
+	b.edges = append(b.edges, [2]int32{int32(u), int32(v)})
+	return nil
+}
+
+// MustEdge is AddEdge but panics on error; intended for generators whose
+// indices are correct by construction.
+func (b *Builder) MustEdge(u, v int) {
+	if err := b.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// Build validates acyclicity and returns the immutable graph. The builder
+// may be reused afterwards (its accumulated state is unchanged).
+func (b *Builder) Build() (*Graph, error) {
+	n := b.n
+	// Sort and deduplicate edges.
+	edges := make([][2]int32, len(b.edges))
+	copy(edges, b.edges)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	w := 0
+	for i, e := range edges {
+		if i > 0 && e == edges[i-1] {
+			continue
+		}
+		edges[w] = e
+		w++
+	}
+	edges = edges[:w]
+
+	g := &Graph{name: b.name, m: len(edges)}
+	g.succPtr = make([]int32, n+1)
+	g.predPtr = make([]int32, n+1)
+	for _, e := range edges {
+		g.succPtr[e[0]+1]++
+		g.predPtr[e[1]+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.succPtr[v+1] += g.succPtr[v]
+		g.predPtr[v+1] += g.predPtr[v]
+	}
+	g.succ = make([]int32, len(edges))
+	g.pred = make([]int32, len(edges))
+	sNext := make([]int32, n)
+	pNext := make([]int32, n)
+	for _, e := range edges { // edges sorted by (u,v): succ lists come out sorted
+		u, v := e[0], e[1]
+		g.succ[g.succPtr[u]+sNext[u]] = v
+		sNext[u]++
+		g.pred[g.predPtr[v]+pNext[v]] = u
+		pNext[v]++
+	}
+	for v := 0; v < n; v++ { // pred lists need their own sort
+		s := g.pred[g.predPtr[v]:g.predPtr[v+1]]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+
+	if order := g.TopoOrder(); order == nil {
+		return nil, fmt.Errorf("graph: %q contains a cycle", b.name)
+	}
+	return g, nil
+}
+
+// MustBuild is Build but panics on error.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Name returns the graph's human-readable name.
+func (g *Graph) Name() string { return g.name }
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.succPtr) - 1 }
+
+// M returns the number of directed edges.
+func (g *Graph) M() int { return g.m }
+
+// Succ returns the successors (consumers) of v in increasing order. The
+// returned slice aliases internal storage and must not be modified.
+func (g *Graph) Succ(v int) []int32 { return g.succ[g.succPtr[v]:g.succPtr[v+1]] }
+
+// Pred returns the predecessors (operands) of v in increasing order. The
+// returned slice aliases internal storage and must not be modified.
+func (g *Graph) Pred(v int) []int32 { return g.pred[g.predPtr[v]:g.predPtr[v+1]] }
+
+// OutDeg returns the out-degree of v.
+func (g *Graph) OutDeg(v int) int { return int(g.succPtr[v+1] - g.succPtr[v]) }
+
+// InDeg returns the in-degree of v.
+func (g *Graph) InDeg(v int) int { return int(g.predPtr[v+1] - g.predPtr[v]) }
+
+// Deg returns the total (in + out) degree of v.
+func (g *Graph) Deg(v int) int { return g.OutDeg(v) + g.InDeg(v) }
+
+// MaxOutDeg returns the maximum out-degree over all vertices (0 for the
+// empty graph).
+func (g *Graph) MaxOutDeg() int {
+	best := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.OutDeg(v); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// MaxInDeg returns the maximum in-degree over all vertices.
+func (g *Graph) MaxInDeg() int {
+	best := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.InDeg(v); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// MaxDeg returns the maximum total degree over all vertices.
+func (g *Graph) MaxDeg() int {
+	best := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Deg(v); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Sources returns the vertices with in-degree zero (the computation's
+// inputs), in increasing order.
+func (g *Graph) Sources() []int {
+	var out []int
+	for v := 0; v < g.N(); v++ {
+		if g.InDeg(v) == 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Sinks returns the vertices with out-degree zero (the computation's
+// outputs), in increasing order.
+func (g *Graph) Sinks() []int {
+	var out []int
+	for v := 0; v < g.N(); v++ {
+		if g.OutDeg(v) == 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TopoOrder returns a deterministic topological order (Kahn's algorithm with
+// a smallest-ID-first tie break), or nil if the graph has a cycle. Builders
+// reject cyclic graphs, so for built graphs the result is always non-nil.
+func (g *Graph) TopoOrder() []int {
+	n := g.N()
+	indeg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = int32(g.InDeg(v))
+	}
+	// Min-heap over ready vertices for determinism.
+	heap := make([]int32, 0, n)
+	push := func(x int32) {
+		heap = append(heap, x)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if heap[p] <= heap[i] {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() int32 {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			s := i
+			if l < last && heap[l] < heap[s] {
+				s = l
+			}
+			if r < last && heap[r] < heap[s] {
+				s = r
+			}
+			if s == i {
+				break
+			}
+			heap[i], heap[s] = heap[s], heap[i]
+			i = s
+		}
+		return top
+	}
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			push(int32(v))
+		}
+	}
+	order := make([]int, 0, n)
+	for len(heap) > 0 {
+		v := pop()
+		order = append(order, int(v))
+		for _, w := range g.Succ(int(v)) {
+			indeg[w]--
+			if indeg[w] == 0 {
+				push(w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil
+	}
+	return order
+}
+
+// IsTopological reports whether order is a permutation of the vertices that
+// places every vertex after all of its predecessors.
+func (g *Graph) IsTopological(order []int) bool {
+	n := g.N()
+	if len(order) != n {
+		return false
+	}
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, v := range order {
+		if v < 0 || v >= n || pos[v] != -1 {
+			return false
+		}
+		pos[v] = i
+	}
+	for v := 0; v < n; v++ {
+		for _, w := range g.Succ(v) {
+			if pos[v] >= pos[int(w)] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Ancestors returns a boolean mask of the vertices from which v is reachable
+// (v itself excluded).
+func (g *Graph) Ancestors(v int) []bool {
+	mask := make([]bool, g.N())
+	stack := []int32{}
+	for _, p := range g.Pred(v) {
+		if !mask[p] {
+			mask[p] = true
+			stack = append(stack, p)
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range g.Pred(int(u)) {
+			if !mask[p] {
+				mask[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return mask
+}
+
+// Descendants returns a boolean mask of the vertices reachable from v
+// (v itself excluded).
+func (g *Graph) Descendants(v int) []bool {
+	mask := make([]bool, g.N())
+	stack := []int32{}
+	for _, s := range g.Succ(v) {
+		if !mask[s] {
+			mask[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Succ(int(u)) {
+			if !mask[s] {
+				mask[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return mask
+}
+
+// UndirectedComponents labels each vertex with the ID of its weakly
+// connected component and returns (labels, componentCount). Component IDs
+// are dense, in order of smallest contained vertex.
+func (g *Graph) UndirectedComponents() ([]int, int) {
+	n := g.N()
+	label := make([]int, n)
+	for i := range label {
+		label[i] = -1
+	}
+	next := 0
+	var stack []int32
+	for v := 0; v < n; v++ {
+		if label[v] != -1 {
+			continue
+		}
+		label[v] = next
+		stack = append(stack[:0], int32(v))
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.Succ(int(u)) {
+				if label[w] == -1 {
+					label[w] = next
+					stack = append(stack, w)
+				}
+			}
+			for _, w := range g.Pred(int(u)) {
+				if label[w] == -1 {
+					label[w] = next
+					stack = append(stack, w)
+				}
+			}
+		}
+		next++
+	}
+	return label, next
+}
+
+// Edges returns a copy of the edge list in sorted order.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.m)
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Succ(u) {
+			out = append(out, [2]int{u, int(v)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,309 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildDiamond returns the 4-vertex diamond 0 -> {1,2} -> 3.
+func buildDiamond(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(4, 4)
+	b.SetName("diamond")
+	b.AddVertices(4)
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatalf("AddEdge(%v): %v", e, err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+// randomDAG builds a random DAG on n vertices where each forward pair (u,v)
+// is an edge with probability p. Edges always go from lower to higher ID.
+func randomDAG(rng *rand.Rand, n int, p float64) *Graph {
+	b := NewBuilder(n, 0)
+	b.SetName("random")
+	b.AddVertices(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.MustEdge(u, v)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestDiamondBasics(t *testing.T) {
+	g := buildDiamond(t)
+	if g.N() != 4 || g.M() != 4 {
+		t.Fatalf("N=%d M=%d, want 4,4", g.N(), g.M())
+	}
+	if got := g.Succ(0); !reflect.DeepEqual(got, []int32{1, 2}) {
+		t.Errorf("Succ(0)=%v", got)
+	}
+	if got := g.Pred(3); !reflect.DeepEqual(got, []int32{1, 2}) {
+		t.Errorf("Pred(3)=%v", got)
+	}
+	if g.OutDeg(0) != 2 || g.InDeg(3) != 2 || g.Deg(1) != 2 {
+		t.Errorf("degree mismatch: out(0)=%d in(3)=%d deg(1)=%d", g.OutDeg(0), g.InDeg(3), g.Deg(1))
+	}
+	if got := g.Sources(); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("Sources=%v", got)
+	}
+	if got := g.Sinks(); !reflect.DeepEqual(got, []int{3}) {
+		t.Errorf("Sinks=%v", got)
+	}
+	if g.MaxOutDeg() != 2 || g.MaxInDeg() != 2 || g.MaxDeg() != 2 {
+		t.Errorf("max degrees: %d %d %d", g.MaxOutDeg(), g.MaxInDeg(), g.MaxDeg())
+	}
+}
+
+func TestBuilderRejectsCycle(t *testing.T) {
+	b := NewBuilder(3, 3)
+	b.AddVertices(3)
+	b.MustEdge(0, 1)
+	b.MustEdge(1, 2)
+	b.MustEdge(2, 0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted a cyclic graph")
+	}
+}
+
+func TestBuilderRejectsSelfLoopAndBadIndex(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.AddVertices(2)
+	if err := b.AddEdge(0, 0); err == nil {
+		t.Error("AddEdge accepted a self-loop")
+	}
+	if err := b.AddEdge(0, 5); err == nil {
+		t.Error("AddEdge accepted an out-of-range vertex")
+	}
+	if err := b.AddEdge(-1, 0); err == nil {
+		t.Error("AddEdge accepted a negative vertex")
+	}
+}
+
+func TestBuilderDeduplicatesEdges(t *testing.T) {
+	b := NewBuilder(2, 4)
+	b.AddVertices(2)
+	b.MustEdge(0, 1)
+	b.MustEdge(0, 1)
+	b.MustEdge(0, 1)
+	g := b.MustBuild()
+	if g.M() != 1 {
+		t.Fatalf("M=%d after dedup, want 1", g.M())
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0, 0).MustBuild()
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty graph: N=%d M=%d", g.N(), g.M())
+	}
+	if order := g.TopoOrder(); len(order) != 0 {
+		t.Fatalf("TopoOrder on empty graph: %v", order)
+	}
+	if !g.IsTopological(nil) {
+		t.Error("empty order should be topological for empty graph")
+	}
+}
+
+func TestSingleVertex(t *testing.T) {
+	b := NewBuilder(1, 0)
+	b.AddVertex()
+	g := b.MustBuild()
+	if got := g.TopoOrder(); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("TopoOrder=%v", got)
+	}
+	if g.Sources()[0] != 0 || g.Sinks()[0] != 0 {
+		t.Error("isolated vertex should be both source and sink")
+	}
+}
+
+func TestTopoOrderDeterministicAndValid(t *testing.T) {
+	g := buildDiamond(t)
+	want := []int{0, 1, 2, 3}
+	if got := g.TopoOrder(); !reflect.DeepEqual(got, want) {
+		t.Errorf("TopoOrder=%v want %v", got, want)
+	}
+	if !g.IsTopological(g.TopoOrder()) {
+		t.Error("TopoOrder not topological")
+	}
+}
+
+func TestIsTopologicalRejectsBadOrders(t *testing.T) {
+	g := buildDiamond(t)
+	cases := [][]int{
+		{3, 1, 2, 0},    // reversed
+		{0, 1, 2},       // too short
+		{0, 1, 2, 3, 3}, // too long
+		{0, 1, 1, 3},    // duplicate
+		{0, 1, 2, 4},    // out of range
+		{1, 0, 2, 3},    // 1 before its parent 0
+	}
+	for _, c := range cases {
+		if g.IsTopological(c) {
+			t.Errorf("IsTopological(%v) = true, want false", c)
+		}
+	}
+}
+
+func TestAncestorsDescendants(t *testing.T) {
+	g := buildDiamond(t)
+	anc := g.Ancestors(3)
+	if !anc[0] || !anc[1] || !anc[2] || anc[3] {
+		t.Errorf("Ancestors(3)=%v", anc)
+	}
+	desc := g.Descendants(0)
+	if !desc[1] || !desc[2] || !desc[3] || desc[0] {
+		t.Errorf("Descendants(0)=%v", desc)
+	}
+	if anc := g.Ancestors(0); anc[0] || anc[1] || anc[2] || anc[3] {
+		t.Errorf("Ancestors(0)=%v, want none", anc)
+	}
+}
+
+func TestUndirectedComponents(t *testing.T) {
+	b := NewBuilder(5, 2)
+	b.AddVertices(5)
+	b.MustEdge(0, 1)
+	b.MustEdge(3, 4)
+	g := b.MustBuild()
+	label, count := g.UndirectedComponents()
+	if count != 3 {
+		t.Fatalf("count=%d want 3", count)
+	}
+	if label[0] != label[1] || label[3] != label[4] || label[0] == label[2] || label[2] == label[3] {
+		t.Errorf("labels=%v", label)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := buildDiamond(t)
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	g2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if g2.Name() != g.Name() || g2.N() != g.N() || !reflect.DeepEqual(g2.Edges(), g.Edges()) {
+		t.Errorf("round trip mismatch: %v vs %v", g2.Edges(), g.Edges())
+	}
+}
+
+func TestReadJSONRejectsBadInput(t *testing.T) {
+	for _, s := range []string{
+		`{"name":"x","n":-1,"edges":[]}`,
+		`{"name":"x","n":2,"edges":[[0,5]]}`,
+		`{"name":"x","n":2,"edges":[[0,1],[1,0]]}`, // cycle
+		`not json`,
+	} {
+		if _, err := ReadJSON(strings.NewReader(s)); err == nil {
+			t.Errorf("ReadJSON(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := buildDiamond(t)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	s := buf.String()
+	for _, frag := range []string{"digraph", "0 -> 1", "2 -> 3"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("DOT output missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestRandomTopoOrderValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		g := randomDAG(rng, 2+rng.Intn(40), 0.2)
+		order := g.RandomTopoOrder(rng)
+		if !g.IsTopological(order) {
+			t.Fatalf("trial %d: random order invalid: %v", trial, order)
+		}
+	}
+}
+
+func TestDFSTopoOrderValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		g := randomDAG(rng, 2+rng.Intn(40), 0.25)
+		if !g.IsTopological(g.DFSTopoOrder()) {
+			t.Fatalf("trial %d: DFS order invalid", trial)
+		}
+	}
+}
+
+func TestEdgeCountsConsistent(t *testing.T) {
+	// Property: sum of out-degrees == sum of in-degrees == M, on random DAGs.
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 1+r.Intn(30), 0.3)
+		sumOut, sumIn := 0, 0
+		for v := 0; v < g.N(); v++ {
+			sumOut += g.OutDeg(v)
+			sumIn += g.InDeg(v)
+		}
+		return sumOut == g.M() && sumIn == g.M()
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSuccPredMirror(t *testing.T) {
+	// Property: w in Succ(v) iff v in Pred(w).
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 1+r.Intn(30), 0.3)
+		fwd := map[[2]int]bool{}
+		for v := 0; v < g.N(); v++ {
+			for _, w := range g.Succ(v) {
+				fwd[[2]int{v, int(w)}] = true
+			}
+		}
+		back := map[[2]int]bool{}
+		for w := 0; w < g.N(); w++ {
+			for _, v := range g.Pred(w) {
+				back[[2]int{int(v), w}] = true
+			}
+		}
+		return reflect.DeepEqual(fwd, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAncestorsDescendantsDuality(t *testing.T) {
+	// Property: u is an ancestor of v iff v is a descendant of u.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		g := randomDAG(rng, 2+rng.Intn(25), 0.25)
+		n := g.N()
+		u, v := rng.Intn(n), rng.Intn(n)
+		if g.Ancestors(v)[u] != g.Descendants(u)[v] {
+			t.Fatalf("duality violated for u=%d v=%d", u, v)
+		}
+	}
+}

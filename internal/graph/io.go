@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonGraph is the on-disk representation: a name, a vertex count, and an
+// edge list. It is deliberately simple so that graphs can be produced and
+// consumed by other tools.
+type jsonGraph struct {
+	Name  string   `json:"name"`
+	N     int      `json:"n"`
+	Edges [][2]int `json:"edges"`
+}
+
+// WriteJSON serializes g to w in the module's JSON graph format.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	jg := jsonGraph{Name: g.name, N: g.N(), Edges: g.Edges()}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&jg)
+}
+
+// ReadJSON parses a graph in the module's JSON format and validates it.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var jg jsonGraph
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jg); err != nil {
+		return nil, fmt.Errorf("graph: decoding JSON: %w", err)
+	}
+	if jg.N < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", jg.N)
+	}
+	// Refuse absurd counts before allocating: a hand-written header could
+	// otherwise demand gigabytes for a graph with no edges.
+	const maxN = 1 << 28
+	if jg.N > maxN {
+		return nil, fmt.Errorf("graph: vertex count %d exceeds the parser limit %d", jg.N, maxN)
+	}
+	b := NewBuilder(jg.N, len(jg.Edges))
+	b.SetName(jg.Name)
+	b.AddVertices(jg.N)
+	for _, e := range jg.Edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// WriteDOT emits the graph in Graphviz DOT format for visual inspection.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=TB;\n  node [shape=circle];\n", g.name)
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Succ(u) {
+			fmt.Fprintf(bw, "  %d -> %d;\n", u, v)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,30 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	if w.n > 8 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestWriteJSONPropagatesWriterErrors(t *testing.T) {
+	g := buildDiamond(t)
+	if err := g.WriteJSON(&failWriter{}); err == nil {
+		t.Error("writer failure not propagated")
+	}
+}
+
+func TestWriteDOTPropagatesWriterErrors(t *testing.T) {
+	g := buildDiamond(t)
+	if err := g.WriteDOT(&failWriter{}); err == nil {
+		t.Error("writer failure not propagated")
+	}
+}

@@ -1,0 +1,83 @@
+package graph
+
+import "math/rand"
+
+// RandomTopoOrder returns a uniformly-ish random topological order: Kahn's
+// algorithm choosing uniformly among the ready vertices at each step. (This
+// does not sample uniformly over all linear extensions — that problem is
+// #P-hard — but it explores the order space well enough for empirical
+// upper-bound search.)
+func (g *Graph) RandomTopoOrder(rng *rand.Rand) []int {
+	n := g.N()
+	indeg := make([]int32, n)
+	ready := make([]int32, 0, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = int32(g.InDeg(v))
+		if indeg[v] == 0 {
+			ready = append(ready, int32(v))
+		}
+	}
+	order := make([]int, 0, n)
+	for len(ready) > 0 {
+		i := rng.Intn(len(ready))
+		v := ready[i]
+		ready[i] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, int(v))
+		for _, w := range g.Succ(int(v)) {
+			indeg[w]--
+			if indeg[w] == 0 {
+				ready = append(ready, w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil
+	}
+	return order
+}
+
+// DFSTopoOrder returns the topological order produced by a depth-first
+// post-order traversal from the sinks backwards (equivalently: reverse
+// post-order on the transpose). DFS orders tend to have good locality and
+// serve as a cheap upper-bound heuristic in the pebble simulator.
+func (g *Graph) DFSTopoOrder() []int {
+	n := g.N()
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	state := make([]byte, n)
+	order := make([]int, 0, n)
+	// Iterative DFS emitting a vertex after all of its predecessors.
+	type frame struct {
+		v    int32
+		next int
+	}
+	var stack []frame
+	for root := 0; root < n; root++ {
+		if state[root] != white {
+			continue
+		}
+		state[root] = gray
+		stack = append(stack[:0], frame{int32(root), 0})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			preds := g.Pred(int(f.v))
+			if f.next < len(preds) {
+				p := preds[f.next]
+				f.next++
+				if state[p] == white {
+					state[p] = gray
+					stack = append(stack, frame{p, 0})
+				}
+				continue
+			}
+			state[f.v] = black
+			order = append(order, int(f.v))
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return order
+}

@@ -1,0 +1,31 @@
+package graph
+
+import "fmt"
+
+// InducedSubgraph returns the subgraph induced by the given vertices. The
+// i-th entry of vs becomes vertex i of the result; the returned graph keeps
+// only edges with both endpoints in vs. Duplicate or out-of-range vertices
+// are rejected.
+func (g *Graph) InducedSubgraph(vs []int) (*Graph, error) {
+	newID := make(map[int]int, len(vs))
+	for i, v := range vs {
+		if v < 0 || v >= g.N() {
+			return nil, fmt.Errorf("graph: induced subgraph vertex %d out of range", v)
+		}
+		if _, dup := newID[v]; dup {
+			return nil, fmt.Errorf("graph: induced subgraph vertex %d duplicated", v)
+		}
+		newID[v] = i
+	}
+	b := NewBuilder(len(vs), 0)
+	b.SetName(g.name + "-induced")
+	b.AddVertices(len(vs))
+	for _, u := range vs {
+		for _, w := range g.Succ(u) {
+			if j, ok := newID[int(w)]; ok {
+				b.MustEdge(newID[u], j)
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,46 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestInducedSubgraph(t *testing.T) {
+	g := buildDiamond(t)
+	sub, err := g.InducedSubgraph([]int{0, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 3 {
+		t.Fatalf("N=%d", sub.N())
+	}
+	// Edges kept: 0→1 (new 0→1), 1→3 (new 1→2). Edge 0→2 and 2→3 dropped.
+	want := [][2]int{{0, 1}, {1, 2}}
+	if got := sub.Edges(); !reflect.DeepEqual(got, want) {
+		t.Errorf("edges=%v want %v", got, want)
+	}
+}
+
+func TestInducedSubgraphReordersIDs(t *testing.T) {
+	g := buildDiamond(t)
+	sub, err := g.InducedSubgraph([]int{3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.M() != 0 {
+		t.Errorf("no edge between 0 and 3, got %v", sub.Edges())
+	}
+}
+
+func TestInducedSubgraphRejectsBadInput(t *testing.T) {
+	g := buildDiamond(t)
+	if _, err := g.InducedSubgraph([]int{0, 0}); err == nil {
+		t.Error("duplicate vertex accepted")
+	}
+	if _, err := g.InducedSubgraph([]int{7}); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if sub, err := g.InducedSubgraph(nil); err != nil || sub.N() != 0 {
+		t.Error("empty selection should give the empty graph")
+	}
+}

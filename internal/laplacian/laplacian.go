@@ -1,0 +1,115 @@
+// Package laplacian builds the graph Laplacians the spectral method works
+// with (paper, Section 4.2).
+//
+// Given a directed computation graph G, the paper forms the weighted
+// undirected graph G̃ by replacing each directed edge (u, v) with an
+// undirected edge of weight 1/d_out(u); L̃ = D̃ − Ã is its Laplacian
+// (Theorem 4). The plain Laplacian L of the unweighted, undirected version
+// of G is used by the looser Theorem 5 variant, whose bound divides by the
+// maximum out-degree instead.
+package laplacian
+
+import (
+	"fmt"
+
+	"graphio/internal/graph"
+	"graphio/internal/linalg"
+)
+
+// Kind selects which Laplacian to build. The zero value is
+// OutDegreeNormalized, so zero-valued options default to the paper's
+// primary Theorem 4 bound.
+type Kind int
+
+const (
+	// OutDegreeNormalized is L̃, with edge (u,v) weighted 1/d_out(u)
+	// (Theorem 4). Deliberately the zero value.
+	OutDegreeNormalized Kind = iota
+	// Original is the unweighted undirected Laplacian L (Theorem 5).
+	Original
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Original:
+		return "original"
+	case OutDegreeNormalized:
+		return "out-degree-normalized"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// edgeWeight returns the weight the undirected edge derived from the
+// directed edge (u, v) carries under kind.
+func edgeWeight(g *graph.Graph, kind Kind, u int) float64 {
+	if kind == OutDegreeNormalized {
+		return 1 / float64(g.OutDeg(u))
+	}
+	return 1
+}
+
+// BuildCSR assembles the selected Laplacian as a sparse CSR matrix.
+func BuildCSR(g *graph.Graph, kind Kind) (*linalg.CSR, error) {
+	n := g.N()
+	entries := make([]linalg.Triplet, 0, 3*g.M()+n)
+	for u := 0; u < n; u++ {
+		// Ensure an explicit diagonal for every vertex, including isolated
+		// ones, so the matrix is structurally complete.
+		entries = append(entries, linalg.Triplet{Row: u, Col: u, Val: 0})
+		for _, vi := range g.Succ(u) {
+			v := int(vi)
+			w := edgeWeight(g, kind, u)
+			entries = append(entries,
+				linalg.Triplet{Row: u, Col: u, Val: w},
+				linalg.Triplet{Row: v, Col: v, Val: w},
+				linalg.Triplet{Row: u, Col: v, Val: -w},
+				linalg.Triplet{Row: v, Col: u, Val: -w},
+			)
+		}
+	}
+	return linalg.NewCSRFromTriplets(n, entries)
+}
+
+// BuildDense assembles the selected Laplacian as a dense matrix; intended
+// for small graphs and tests.
+func BuildDense(g *graph.Graph, kind Kind) *linalg.Dense {
+	n := g.N()
+	m := linalg.NewDense(n)
+	for u := 0; u < n; u++ {
+		for _, vi := range g.Succ(u) {
+			v := int(vi)
+			w := edgeWeight(g, kind, u)
+			m.Add(u, u, w)
+			m.Add(v, v, w)
+			m.Add(u, v, -w)
+			m.Add(v, u, -w)
+		}
+	}
+	return m
+}
+
+// BoundaryWeight computes the weighted edge-boundary of the vertex subset S
+// directly from the graph: Σ over edges (u,v) with exactly one endpoint in
+// S of the edge's weight. For the normalized kind this is the quantity
+// x^T L̃ x of Equation 3; for the original kind it is |∂S|. Used to verify
+// the Laplacian identity and by the partitioner.
+func BoundaryWeight(g *graph.Graph, kind Kind, inS []bool) float64 {
+	var total float64
+	for u := 0; u < g.N(); u++ {
+		for _, vi := range g.Succ(u) {
+			if inS[u] != inS[vi] {
+				total += edgeWeight(g, kind, u)
+			}
+		}
+	}
+	return total
+}
+
+// QuadraticForm evaluates x^T A x for a CSR matrix, used in tests to check
+// the Laplacian boundary identity.
+func QuadraticForm(a *linalg.CSR, x []float64) float64 {
+	tmp := make([]float64, a.N)
+	a.MatVec(tmp, x)
+	return linalg.Dot(x, tmp)
+}

@@ -1,0 +1,338 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dense is a square matrix in row-major order.
+type Dense struct {
+	N    int
+	Data []float64 // len N*N, row-major
+}
+
+// NewDense allocates a zero n×n matrix.
+func NewDense(n int) *Dense {
+	return &Dense{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
+
+// Add increments element (i, j) by v.
+func (m *Dense) Add(i, j int, v float64) { m.Data[i*m.N+j] += v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.N : (i+1)*m.N] }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.N)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MatVec computes dst = m * src.
+func (m *Dense) MatVec(dst, src []float64) {
+	n := m.N
+	for i := 0; i < n; i++ {
+		row := m.Data[i*n : (i+1)*n]
+		var s float64
+		for j, rv := range row {
+			s += rv * src[j]
+		}
+		dst[i] = s
+	}
+}
+
+// Dim implements Operator.
+func (m *Dense) Dim() int { return m.N }
+
+// IsSymmetric reports whether m is symmetric to within tol (absolute).
+func (m *Dense) IsSymmetric(tol float64) bool {
+	n := m.N
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SymEig computes the full eigendecomposition of the symmetric matrix a.
+// It returns the eigenvalues in ascending order; if wantV is true, vecs is
+// the matrix whose column i is the (orthonormal) eigenvector for vals[i],
+// otherwise vecs is nil. The input matrix is not modified.
+//
+// The implementation is the classic EISPACK pair tred2 (Householder
+// reduction to tridiagonal form) + tql2 (QL with implicit Wilkinson shifts),
+// ported from scratch. Cost is O(n^3).
+func SymEig(a *Dense, wantV bool) (vals []float64, vecs *Dense, err error) {
+	n := a.N
+	if n == 0 {
+		return nil, nil, nil
+	}
+	work := a.Clone()
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = work.Row(i)
+	}
+	d := make([]float64, n)
+	e := make([]float64, n)
+	tred2(rows, d, e, wantV)
+	var z [][]float64
+	if wantV {
+		z = rows
+	}
+	if err := tql2(d, e, z); err != nil {
+		return nil, nil, err
+	}
+	// Sort eigenvalues (and columns of z) ascending with a simple selection
+	// sort; n^2 swaps are negligible next to the n^3 factorization.
+	for i := 0; i < n-1; i++ {
+		k := i
+		for j := i + 1; j < n; j++ {
+			if d[j] < d[k] {
+				k = j
+			}
+		}
+		if k != i {
+			d[i], d[k] = d[k], d[i]
+			if wantV {
+				for r := 0; r < n; r++ {
+					rows[r][i], rows[r][k] = rows[r][k], rows[r][i]
+				}
+			}
+		}
+	}
+	if wantV {
+		vecs = work
+	}
+	return d, vecs, nil
+}
+
+// SymEigValues returns only the eigenvalues of the symmetric matrix a, in
+// ascending order.
+func SymEigValues(a *Dense) ([]float64, error) {
+	vals, _, err := SymEig(a, false)
+	return vals, err
+}
+
+// tred2 reduces the symmetric matrix a (given as row slices) to tridiagonal
+// form by Householder similarity transformations. On return d holds the
+// diagonal and e[1..n-1] the subdiagonal (e[0] = 0). If wantV, a is
+// overwritten with the accumulated orthogonal transformation Q such that
+// Q^T A Q = T; otherwise a's contents are destroyed.
+func tred2(a [][]float64, d, e []float64, wantV bool) {
+	n := len(a)
+	for i := n - 1; i >= 1; i-- {
+		l := i - 1
+		var h, scale float64
+		if l > 0 {
+			for k := 0; k <= l; k++ {
+				scale += math.Abs(a[i][k])
+			}
+			if scale == 0 {
+				e[i] = a[i][l]
+			} else {
+				for k := 0; k <= l; k++ {
+					a[i][k] /= scale
+					h += a[i][k] * a[i][k]
+				}
+				f := a[i][l]
+				g := math.Sqrt(h)
+				if f >= 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				a[i][l] = f - g
+				f = 0
+				for j := 0; j <= l; j++ {
+					if wantV {
+						a[j][i] = a[i][j] / h
+					}
+					g = 0
+					for k := 0; k <= j; k++ {
+						g += a[j][k] * a[i][k]
+					}
+					for k := j + 1; k <= l; k++ {
+						g += a[k][j] * a[i][k]
+					}
+					e[j] = g / h
+					f += e[j] * a[i][j]
+				}
+				hh := f / (h + h)
+				for j := 0; j <= l; j++ {
+					f = a[i][j]
+					g = e[j] - hh*f
+					e[j] = g
+					for k := 0; k <= j; k++ {
+						a[j][k] -= f*e[k] + g*a[i][k]
+					}
+				}
+			}
+		} else {
+			e[i] = a[i][l]
+		}
+		d[i] = h
+	}
+	d[0] = 0
+	e[0] = 0
+	for i := 0; i < n; i++ {
+		if wantV {
+			l := i - 1
+			if d[i] != 0 {
+				for j := 0; j <= l; j++ {
+					g := 0.0
+					for k := 0; k <= l; k++ {
+						g += a[i][k] * a[k][j]
+					}
+					for k := 0; k <= l; k++ {
+						a[k][j] -= g * a[k][i]
+					}
+				}
+			}
+			d[i] = a[i][i]
+			a[i][i] = 1
+			for j := 0; j <= l; j++ {
+				a[j][i] = 0
+				a[i][j] = 0
+			}
+		} else {
+			d[i] = a[i][i]
+		}
+	}
+}
+
+// tql2 computes the eigenvalues (and, if z is non-nil, eigenvectors) of a
+// symmetric tridiagonal matrix with diagonal d and subdiagonal e[1..n-1],
+// using the QL algorithm with implicit shifts. On return d holds the
+// eigenvalues (unsorted) and the columns of z the eigenvectors. z must be
+// initialized to the identity (for a tridiagonal input) or to the
+// tridiagonalizing transformation (as produced by tred2).
+func tql2(d, e []float64, z [][]float64) error {
+	n := len(d)
+	if n == 0 {
+		return nil
+	}
+	const eps = 2.220446049250313e-16
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			var m int
+			for m = l; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= eps*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			iter++
+			if iter > 60 {
+				return fmt.Errorf("linalg: tql2 failed to converge at eigenvalue %d", l)
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			underflow := false
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					underflow = true
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				if z != nil {
+					for k := 0; k < n; k++ {
+						f = z[k][i+1]
+						z[k][i+1] = s*z[k][i] + c*f
+						z[k][i] = c*z[k][i] - s*f
+					}
+				}
+			}
+			if underflow {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return nil
+}
+
+// TridiagEig computes the eigendecomposition of the symmetric tridiagonal
+// matrix with diagonal diag and subdiagonal sub (len(sub) == len(diag)-1).
+// Eigenvalues are returned in ascending order; if wantV is true, column i of
+// vecs is the unit eigenvector for vals[i]. This is the small inner solve
+// used by the Lanczos iteration.
+func TridiagEig(diag, sub []float64, wantV bool) (vals []float64, vecs *Dense, err error) {
+	n := len(diag)
+	if n == 0 {
+		return nil, nil, nil
+	}
+	if len(sub) != n-1 {
+		return nil, nil, errors.New("linalg: TridiagEig: len(sub) must be len(diag)-1")
+	}
+	d := make([]float64, n)
+	copy(d, diag)
+	e := make([]float64, n)
+	copy(e[1:], sub)
+	var z [][]float64
+	var zm *Dense
+	if wantV {
+		zm = NewDense(n)
+		z = make([][]float64, n)
+		for i := range z {
+			z[i] = zm.Row(i)
+			z[i][i] = 1
+		}
+	}
+	if err := tql2(d, e, z); err != nil {
+		return nil, nil, err
+	}
+	// Selection sort ascending, permuting columns of z alongside.
+	for i := 0; i < n-1; i++ {
+		k := i
+		for j := i + 1; j < n; j++ {
+			if d[j] < d[k] {
+				k = j
+			}
+		}
+		if k != i {
+			d[i], d[k] = d[k], d[i]
+			if wantV {
+				for r := 0; r < n; r++ {
+					z[r][i], z[r][k] = z[r][k], z[r][i]
+				}
+			}
+		}
+	}
+	return d, zm, nil
+}

@@ -1,0 +1,116 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// TridiagEigBisect computes eigenvalues lo..hi (0-based, inclusive,
+// ascending order) of the symmetric tridiagonal matrix with diagonal diag
+// and subdiagonal sub, by bisection on Sturm sequences. It is an
+// implementation independent of the QL iteration in TridiagEig and serves
+// as a cross-check of that solver (and, through it, of the Householder
+// reduction); it is also the cheaper choice when only a few interior
+// eigenvalues are needed.
+//
+// The Sturm count of a shift σ — the number of negative values in the
+// sequence d_i = (diag_i − σ) − sub_{i-1}²/d_{i-1} — equals the number of
+// eigenvalues below σ; bisection on that count isolates each eigenvalue to
+// machine precision.
+func TridiagEigBisect(diag, sub []float64, lo, hi int) ([]float64, error) {
+	n := len(diag)
+	if len(sub) != n-1 && !(n == 0 && len(sub) == 0) {
+		return nil, errors.New("linalg: TridiagEigBisect: len(sub) must be len(diag)-1")
+	}
+	if lo < 0 || hi >= n || lo > hi {
+		return nil, errors.New("linalg: TridiagEigBisect: index range out of bounds")
+	}
+
+	// Gershgorin interval enclosing the whole spectrum.
+	gLo, gHi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		r := 0.0
+		if i > 0 {
+			r += math.Abs(sub[i-1])
+		}
+		if i < n-1 {
+			r += math.Abs(sub[i])
+		}
+		if diag[i]-r < gLo {
+			gLo = diag[i] - r
+		}
+		if diag[i]+r > gHi {
+			gHi = diag[i] + r
+		}
+	}
+	scale := math.Max(math.Abs(gLo), math.Abs(gHi))
+	if scale == 0 {
+		scale = 1
+	}
+	// Guard the interval so strict/loose comparisons at the endpoints
+	// cannot lose an eigenvalue.
+	gLo -= 1e-12*scale + 1e-300
+	gHi += 1e-12*scale + 1e-300
+
+	// sturmCount returns the number of eigenvalues strictly below sigma.
+	sub2 := make([]float64, n)
+	for i := 1; i < n; i++ {
+		sub2[i] = sub[i-1] * sub[i-1]
+	}
+	const tiny = 1e-300
+	sturmCount := func(sigma float64) int {
+		count := 0
+		d := 1.0 // sub2[0] == 0, so the i=0 step reduces to diag[0]−sigma
+		for i := 0; i < n; i++ {
+			d = diag[i] - sigma - sub2[i]/d
+			if d == 0 {
+				d = -tiny
+			}
+			if d < 0 {
+				count++
+			}
+		}
+		return count
+	}
+
+	out := make([]float64, 0, hi-lo+1)
+	for idx := lo; idx <= hi; idx++ {
+		a, b := gLo, gHi
+		// Invariant: count(a) ≤ idx < count(b).
+		for iter := 0; iter < 200; iter++ {
+			mid := 0.5 * (a + b)
+			if mid == a || mid == b {
+				break
+			}
+			if sturmCount(mid) <= idx {
+				a = mid
+			} else {
+				b = mid
+			}
+			if b-a <= 1e-14*scale {
+				break
+			}
+		}
+		out = append(out, 0.5*(a+b))
+	}
+	return out, nil
+}
+
+// SymEigBisect computes eigenvalues lo..hi of a dense symmetric matrix by
+// Householder tridiagonalization followed by Sturm bisection. Cross-check
+// companion to SymEig.
+func SymEigBisect(a *Dense, lo, hi int) ([]float64, error) {
+	n := a.N
+	if n == 0 {
+		return nil, nil
+	}
+	work := a.Clone()
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = work.Row(i)
+	}
+	d := make([]float64, n)
+	e := make([]float64, n)
+	tred2(rows, d, e, false)
+	return TridiagEigBisect(d, e[1:], lo, hi)
+}

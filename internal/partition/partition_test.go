@@ -1,0 +1,220 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"graphio/internal/gen"
+	"graphio/internal/graph"
+	"graphio/internal/laplacian"
+)
+
+func TestRecursiveBisectionCoversAllVertices(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(60)
+		g := gen.ErdosRenyiDAG(n, 0.2, rng.Int63())
+		maxSize := 1 + rng.Intn(12)
+		parts, err := RecursiveBisection(g, maxSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []int
+		for _, p := range parts {
+			if len(p) == 0 || len(p) > maxSize {
+				t.Fatalf("part size %d violates maxSize %d", len(p), maxSize)
+			}
+			all = append(all, p...)
+		}
+		sort.Ints(all)
+		if len(all) != n {
+			t.Fatalf("cover size %d != n %d", len(all), n)
+		}
+		for i, v := range all {
+			if v != i {
+				t.Fatalf("vertex %d missing or duplicated", i)
+			}
+		}
+	}
+}
+
+func TestRecursiveBisectionValidation(t *testing.T) {
+	if _, err := RecursiveBisection(gen.Chain(4), 0); err == nil {
+		t.Error("maxSize=0 accepted")
+	}
+	parts, err := RecursiveBisection(graph.NewBuilder(0, 0).MustBuild(), 4)
+	if err != nil || len(parts) != 0 {
+		t.Errorf("empty graph: %v, %v", parts, err)
+	}
+}
+
+func TestBisectionOfPathIsContiguous(t *testing.T) {
+	// The Fiedler vector of a path is monotone along it, so one spectral
+	// bisection of a path must produce two contiguous halves.
+	g := gen.Chain(32)
+	parts, err := RecursiveBisection(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	for _, p := range parts {
+		lo, hi := p[0], p[0]
+		for _, v := range p {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi-lo+1 != len(p) {
+			t.Errorf("part %v is not contiguous", p)
+		}
+	}
+}
+
+func TestFiedlerVectorOnPath(t *testing.T) {
+	g := gen.Chain(20)
+	L, err := laplacian.BuildCSR(g, laplacian.Original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := FiedlerVector(L, 2000, 1e-8, 1)
+	if f == nil {
+		t.Fatal("no Fiedler vector for a path")
+	}
+	// Rayleigh quotient ≈ λ2 = 2(1 − cos(π/20)).
+	tmp := make([]float64, 20)
+	L.MatVec(tmp, f)
+	var num, den float64
+	for i := range f {
+		num += f[i] * tmp[i]
+		den += f[i] * f[i]
+	}
+	want := 2 * (1 - math.Cos(math.Pi/20))
+	if got := num / den; math.Abs(got-want) > 1e-4 {
+		t.Errorf("Rayleigh quotient %g, want λ2 %g", got, want)
+	}
+	// Monotone along the path (up to global sign).
+	inc, dec := true, true
+	for i := 1; i < len(f); i++ {
+		if f[i] < f[i-1] {
+			inc = false
+		}
+		if f[i] > f[i-1] {
+			dec = false
+		}
+	}
+	if !inc && !dec {
+		t.Error("path Fiedler vector should be monotone")
+	}
+}
+
+func TestFiedlerVectorDegenerateInputs(t *testing.T) {
+	g := gen.Chain(1)
+	L, err := laplacian.BuildCSR(g, laplacian.Original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FiedlerVector(L, 100, 1e-6, 1) != nil {
+		t.Error("n=1 should return nil")
+	}
+	// Edgeless graph: Gershgorin bound 0 → nil.
+	b := graph.NewBuilder(3, 0)
+	b.AddVertices(3)
+	L2, err := laplacian.BuildCSR(b.MustBuild(), laplacian.Original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FiedlerVector(L2, 100, 1e-6, 1) != nil {
+		t.Error("edgeless graph should return nil")
+	}
+}
+
+func TestSortIdxByValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(50)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64()
+		}
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sortIdxByValue(idx, vals)
+		seen := make([]bool, n)
+		for i := 1; i < n; i++ {
+			if vals[idx[i]] < vals[idx[i-1]] {
+				t.Fatalf("not sorted at %d", i)
+			}
+		}
+		for _, id := range idx {
+			if seen[id] {
+				t.Fatal("duplicate index after sort")
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestBisectionEdgelessFallsBackToBFS(t *testing.T) {
+	// An edgeless graph has no Fiedler vector (Gershgorin bound 0); the
+	// bisection must fall back to BFS order and still cover everything.
+	b := graph.NewBuilder(9, 0)
+	b.AddVertices(9)
+	g := b.MustBuild()
+	parts, err := RecursiveBisection(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []int
+	for _, p := range parts {
+		if len(p) > 2 {
+			t.Fatalf("part %v exceeds maxSize", p)
+		}
+		all = append(all, p...)
+	}
+	sort.Ints(all)
+	for i, v := range all {
+		if v != i {
+			t.Fatalf("cover broken: %v", all)
+		}
+	}
+}
+
+func TestBisectionSeparatesTwoCliques(t *testing.T) {
+	// Two 8-cliques joined by one edge: spectral bisection should cut the
+	// bridge, putting each clique in its own part.
+	b := graph.NewBuilder(16, 0)
+	b.AddVertices(16)
+	for base := 0; base < 16; base += 8 {
+		for i := 0; i < 8; i++ {
+			for j := i + 1; j < 8; j++ {
+				b.MustEdge(base+i, base+j)
+			}
+		}
+	}
+	b.MustEdge(7, 8)
+	g := b.MustBuild()
+	parts, err := RecursiveBisection(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 {
+		t.Fatalf("%d parts", len(parts))
+	}
+	for _, p := range parts {
+		lowSide := p[0] < 8
+		for _, v := range p {
+			if (v < 8) != lowSide {
+				t.Fatalf("part %v mixes the two cliques", p)
+			}
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package plot renders X-Y series as ASCII charts. The experiment harness
+// regenerates the paper's figures as CSV tables; this package makes them
+// figures again without leaving the terminal — `cmd/experiments -plot`
+// draws each table's bound-vs-size curves directly from the results.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Options controls the canvas.
+type Options struct {
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 16)
+	LogY   bool
+	Title  string
+	XLabel string
+	YLabel string
+}
+
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the series onto w as a fixed-width ASCII chart with axis
+// ticks and a legend. Points with non-finite or (under LogY) non-positive
+// values are skipped.
+func Render(w io.Writer, series []Series, opt Options) error {
+	if len(series) == 0 {
+		return errors.New("plot: no series")
+	}
+	width, height := opt.Width, opt.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+
+	tx := func(v float64) float64 { return v }
+	ty := tx
+	if opt.LogY {
+		ty = math.Log10
+	}
+
+	// Data range across all plottable points.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	usable := 0
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x but %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if !plottable(s.X[i], s.Y[i], opt.LogY) {
+				continue
+			}
+			usable++
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if usable == 0 {
+		return errors.New("plot: no plottable points")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			if !plottable(s.X[i], s.Y[i], opt.LogY) {
+				continue
+			}
+			c := int(math.Round((tx(s.X[i]) - minX) / (maxX - minX) * float64(width-1)))
+			r := height - 1 - int(math.Round((ty(s.Y[i])-minY)/(maxY-minY)*float64(height-1)))
+			if grid[r][c] == ' ' || grid[r][c] == mark {
+				grid[r][c] = mark
+			} else {
+				grid[r][c] = '?' // overlapping series
+			}
+		}
+	}
+
+	var b strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opt.Title)
+	}
+	yLo, yHi := minY, maxY
+	if opt.LogY {
+		yLo, yHi = math.Pow(10, minY), math.Pow(10, maxY)
+	}
+	topLabel := fmt.Sprintf("%.4g", yHi)
+	botLabel := fmt.Sprintf("%.4g", yLo)
+	pad := len(topLabel)
+	if len(botLabel) > pad {
+		pad = len(botLabel)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", pad)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", pad, topLabel)
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%*s", pad, botLabel)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.4g%*.4g", strings.Repeat(" ", pad), width/2, minX, width-width/2, maxX)
+	if opt.XLabel != "" {
+		fmt.Fprintf(&b, "  (%s)", opt.XLabel)
+	}
+	b.WriteByte('\n')
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	if opt.YLabel != "" {
+		fmt.Fprintf(&b, "  y: %s", opt.YLabel)
+		if opt.LogY {
+			b.WriteString(" (log scale)")
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func plottable(x, y float64, logY bool) bool {
+	if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+		return false
+	}
+	if logY && y <= 0 {
+		return false
+	}
+	return true
+}

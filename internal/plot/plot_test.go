@@ -1,0 +1,91 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, []Series{
+		{Name: "a", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}},
+		{Name: "b", X: []float64{1, 2, 3}, Y: []float64{3, 2, 1}},
+	}, Options{Width: 20, Height: 8, Title: "demo", XLabel: "n", YLabel: "bound"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"demo", "* a", "o b", "(n)", "y: bound", "+--"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < 10 {
+		t.Errorf("suspiciously short chart (%d lines)", lines)
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, []Series{
+		{Name: "exp", X: []float64{1, 2, 3, 4}, Y: []float64{10, 100, 1000, 0}},
+	}, Options{LogY: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "log scale") && !strings.Contains(buf.String(), "exp") {
+		t.Error("legend missing")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, nil, Options{}); err == nil {
+		t.Error("no series accepted")
+	}
+	if err := Render(&buf, []Series{{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}}, Options{}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if err := Render(&buf, []Series{{Name: "nan", X: []float64{math.NaN()}, Y: []float64{1}}}, Options{}); err == nil {
+		t.Error("all-unplottable series accepted")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, []Series{{Name: "flat", X: []float64{5}, Y: []float64{7}}}, Options{})
+	if err != nil {
+		t.Fatalf("single-point series: %v", err)
+	}
+}
+
+func TestFromTable(t *testing.T) {
+	cols := []string{"l", "n", "spectral_M4", "mincut_M4"}
+	rows := [][]string{
+		{"3", "32", "0", "0"},
+		{"8", "2304", "32.40", "24*"},
+		{"12", "53248", "1059.87", "skipped"},
+	}
+	series, err := FromTable(cols, rows, "l", "spectral_", "mincut_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series=%d", len(series))
+	}
+	if len(series[0].X) != 3 {
+		t.Errorf("spectral points=%d want 3", len(series[0].X))
+	}
+	// mincut: the "skipped" cell drops, the "24*" cell parses.
+	if len(series[1].X) != 2 || series[1].Y[1] != 24 {
+		t.Errorf("mincut series: %+v", series[1])
+	}
+	if _, err := FromTable(cols, rows, "zzz", "spectral_"); err == nil {
+		t.Error("missing x column accepted")
+	}
+	if _, err := FromTable(cols, rows, "l", "nope_"); err == nil {
+		t.Error("no matching y columns accepted")
+	}
+}

@@ -1,0 +1,66 @@
+package plot
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FromTable extracts plottable series from a rectangular table (header row
+// plus data rows, as produced by the experiment harness' CSV output):
+// xCol selects the x axis, and every column whose name has one of the
+// given prefixes becomes a series. Cells that fail to parse (the
+// harness' "-", "skipped", or "12*" time-box markers — the trailing
+// marker is stripped first) are skipped.
+func FromTable(columns []string, rows [][]string, xCol string, yPrefixes ...string) ([]Series, error) {
+	xi := -1
+	var yis []int
+	for i, c := range columns {
+		if c == xCol {
+			xi = i
+		}
+		for _, p := range yPrefixes {
+			if strings.HasPrefix(c, p) {
+				yis = append(yis, i)
+				break
+			}
+		}
+	}
+	if xi == -1 {
+		return nil, fmt.Errorf("plot: x column %q not found in %v", xCol, columns)
+	}
+	if len(yis) == 0 {
+		return nil, fmt.Errorf("plot: no columns match prefixes %v", yPrefixes)
+	}
+	var out []Series
+	for _, yi := range yis {
+		s := Series{Name: columns[yi]}
+		for _, row := range rows {
+			x, okx := parseCell(row[xi])
+			y, oky := parseCell(row[yi])
+			if okx && oky {
+				s.X = append(s.X, x)
+				s.Y = append(s.Y, y)
+			}
+		}
+		if len(s.X) > 0 {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("plot: no plottable data under %v", yPrefixes)
+	}
+	return out, nil
+}
+
+func parseCell(s string) (float64, bool) {
+	s = strings.TrimSuffix(strings.TrimSpace(s), "*")
+	if s == "" || s == "-" || s == "skipped" {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

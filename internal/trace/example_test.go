@@ -1,0 +1,29 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"graphio/internal/trace"
+)
+
+// Example records a tiny computation — (a+b)·a — and extracts its graph.
+func Example() {
+	tr := trace.New()
+	a := tr.Input("a")
+	b := tr.Input("b")
+	a.Add(b).Mul(a)
+	g := tr.MustGraph("demo")
+	fmt.Printf("%d ops, %d deps, sinks=%v\n", g.N(), g.M(), g.Sinks())
+	// Output:
+	// 4 ops, 4 deps, sinks=[3]
+}
+
+// ExampleReduceAdd sums eight inputs with a chain of binary adds.
+func ExampleReduceAdd() {
+	tr := trace.New()
+	xs := tr.Inputs("x", 8)
+	root := trace.ReduceAdd(xs)
+	fmt.Printf("root id %d of %d ops\n", root.ID(), tr.NumOps())
+	// Output:
+	// root id 14 of 15 ops
+}

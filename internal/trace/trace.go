@@ -1,0 +1,169 @@
+// Package trace extracts computation graphs from straight-line programs,
+// the Go equivalent of the paper's §6.1 solver (which traces Python
+// arithmetic by operator overloading). A Tracer hands out opaque Values;
+// every arithmetic method or custom Op call on a Value records one vertex,
+// with edges from each operand. The resulting DAG feeds directly into the
+// spectral bound.
+//
+//	tr := trace.New()
+//	a, b := tr.Input("a"), tr.Input("b")
+//	c := a.Mul(b).Add(a)
+//	g, _ := tr.Graph("example")
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"graphio/internal/graph"
+)
+
+// Tracer records a computation as it is built.
+type Tracer struct {
+	labels []string
+	edges  [][2]int
+}
+
+// Value is a handle to one traced operation result (or input).
+type Value struct {
+	t  *Tracer
+	id int
+}
+
+// New returns an empty Tracer.
+func New() *Tracer { return &Tracer{} }
+
+// NumOps reports the number of operations (vertices) recorded so far.
+func (t *Tracer) NumOps() int { return len(t.labels) }
+
+// Input records an input vertex (a source of the computation graph) and
+// returns its Value. The label is kept for DOT/debug output.
+func (t *Tracer) Input(label string) Value {
+	return t.newVertex("in:" + label)
+}
+
+// Inputs records n inputs labelled prefix0..prefix{n-1}.
+func (t *Tracer) Inputs(prefix string, n int) []Value {
+	out := make([]Value, n)
+	for i := range out {
+		out[i] = t.Input(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return out
+}
+
+// Op records an operation with the given operands and returns its Value.
+// Every operand must come from this Tracer. Repeated operands (e.g.
+// squaring) are legal and contribute a single graph edge.
+func (t *Tracer) Op(label string, operands ...Value) Value {
+	for _, o := range operands {
+		if o.t != t {
+			panic("trace: operand from a different Tracer")
+		}
+	}
+	v := t.newVertex(label)
+	for _, o := range operands {
+		t.edges = append(t.edges, [2]int{o.id, v.id})
+	}
+	return v
+}
+
+func (t *Tracer) newVertex(label string) Value {
+	id := len(t.labels)
+	t.labels = append(t.labels, label)
+	return Value{t: t, id: id}
+}
+
+// ID returns the vertex ID this value will have in the extracted graph.
+func (v Value) ID() int { return v.id }
+
+// Add records v + o.
+func (v Value) Add(o Value) Value { return v.t.Op("add", v, o) }
+
+// Sub records v − o.
+func (v Value) Sub(o Value) Value { return v.t.Op("sub", v, o) }
+
+// Mul records v · o.
+func (v Value) Mul(o Value) Value { return v.t.Op("mul", v, o) }
+
+// Min records min(v, o); dynamic-programming recurrences use it.
+func (v Value) Min(o Value) Value { return v.t.Op("min", v, o) }
+
+// Label returns the operation label recorded for v.
+func (v Value) Label() string { return v.t.labels[v.id] }
+
+// Labels returns the operation label for every vertex, indexed by vertex ID.
+func (t *Tracer) Labels() []string {
+	out := make([]string, len(t.labels))
+	copy(out, t.labels)
+	return out
+}
+
+// Graph extracts the traced computation graph.
+func (t *Tracer) Graph(name string) (*graph.Graph, error) {
+	b := graph.NewBuilder(len(t.labels), len(t.edges))
+	b.SetName(name)
+	b.AddVertices(len(t.labels))
+	for _, e := range t.edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// MustGraph is Graph but panics on error; traces built through this API are
+// acyclic by construction, so the error path exists only for defensive use.
+func (t *Tracer) MustGraph(name string) *graph.Graph {
+	g, err := t.Graph(name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// WriteDOT renders the traced computation in Graphviz DOT format with the
+// recorded operation labels on the vertices — richer than the plain
+// graph.WriteDOT, which only has IDs.
+func (t *Tracer) WriteDOT(w io.Writer, name string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=TB;\n", name)
+	for id, label := range t.labels {
+		shape := "ellipse"
+		if len(label) >= 3 && label[:3] == "in:" {
+			shape = "box"
+		}
+		fmt.Fprintf(bw, "  %d [label=%q shape=%s];\n", id, label, shape)
+	}
+	for _, e := range t.edges {
+		fmt.Fprintf(bw, "  %d -> %d;\n", e[0], e[1])
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// ReduceAdd folds the values with a left-to-right chain of binary adds and
+// returns the root; it records len(vals)−1 add vertices. Panics on empty
+// input.
+func ReduceAdd(vals []Value) Value {
+	if len(vals) == 0 {
+		panic("trace: ReduceAdd of no values")
+	}
+	acc := vals[0]
+	for _, v := range vals[1:] {
+		acc = acc.Add(v)
+	}
+	return acc
+}
+
+// ReduceMin folds the values with a chain of binary mins.
+func ReduceMin(vals []Value) Value {
+	if len(vals) == 0 {
+		panic("trace: ReduceMin of no values")
+	}
+	acc := vals[0]
+	for _, v := range vals[1:] {
+		acc = acc.Min(v)
+	}
+	return acc
+}

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestInnerProductShape(t *testing.T) {
+	// Paper Figure 1: inner product of two 2-vectors is a 7-vertex graph.
+	tr := New()
+	x := tr.Inputs("x", 2)
+	y := tr.Inputs("y", 2)
+	p0 := x[0].Mul(y[0])
+	p1 := x[1].Mul(y[1])
+	sum := p0.Add(p1)
+	g := tr.MustGraph("inner")
+	if g.N() != 7 {
+		t.Fatalf("N=%d want 7", g.N())
+	}
+	if g.M() != 6 {
+		t.Fatalf("M=%d want 6", g.M())
+	}
+	if len(g.Sources()) != 4 {
+		t.Errorf("sources=%v", g.Sources())
+	}
+	if sinks := g.Sinks(); len(sinks) != 1 || sinks[0] != sum.ID() {
+		t.Errorf("sinks=%v want [%d]", sinks, sum.ID())
+	}
+	if g.InDeg(sum.ID()) != 2 || g.InDeg(p0.ID()) != 2 {
+		t.Error("in-degrees wrong")
+	}
+}
+
+func TestOpLabelsAndIDs(t *testing.T) {
+	tr := New()
+	a := tr.Input("a")
+	b := tr.Input("b")
+	c := tr.Op("custom", a, b)
+	if a.Label() != "in:a" || c.Label() != "custom" {
+		t.Errorf("labels: %q %q", a.Label(), c.Label())
+	}
+	labels := tr.Labels()
+	if len(labels) != 3 || labels[c.ID()] != "custom" {
+		t.Errorf("Labels() = %v", labels)
+	}
+	if tr.NumOps() != 3 {
+		t.Errorf("NumOps=%d", tr.NumOps())
+	}
+}
+
+func TestRepeatedOperandSquaring(t *testing.T) {
+	tr := New()
+	a := tr.Input("a")
+	sq := a.Mul(a)
+	g := tr.MustGraph("square")
+	if g.N() != 2 || g.M() != 1 {
+		t.Fatalf("N=%d M=%d want 2,1", g.N(), g.M())
+	}
+	if g.InDeg(sq.ID()) != 1 {
+		t.Errorf("squaring should leave one deduplicated edge")
+	}
+}
+
+func TestCrossTracerPanics(t *testing.T) {
+	t1, t2 := New(), New()
+	a := t1.Input("a")
+	b := t2.Input("b")
+	defer func() {
+		if recover() == nil {
+			t.Error("mixing tracers should panic")
+		}
+	}()
+	a.Add(b)
+}
+
+func TestArithmeticMethods(t *testing.T) {
+	tr := New()
+	a, b := tr.Input("a"), tr.Input("b")
+	for _, v := range []Value{a.Add(b), a.Sub(b), a.Mul(b), a.Min(b)} {
+		g := tr.MustGraph("ops")
+		if g.InDeg(v.ID()) != 2 {
+			t.Errorf("op %q in-degree %d", v.Label(), g.InDeg(v.ID()))
+		}
+	}
+	if got := tr.Labels()[2:]; got[0] != "add" || got[1] != "sub" || got[2] != "mul" || got[3] != "min" {
+		t.Errorf("op labels: %v", got)
+	}
+}
+
+func TestReduceAddChain(t *testing.T) {
+	tr := New()
+	xs := tr.Inputs("x", 5)
+	root := ReduceAdd(xs)
+	g := tr.MustGraph("reduce")
+	if g.N() != 9 { // 5 inputs + 4 adds
+		t.Fatalf("N=%d want 9", g.N())
+	}
+	if sinks := g.Sinks(); len(sinks) != 1 || sinks[0] != root.ID() {
+		t.Errorf("sinks=%v", sinks)
+	}
+}
+
+func TestReduceMinSingle(t *testing.T) {
+	tr := New()
+	xs := tr.Inputs("x", 1)
+	if got := ReduceMin(xs); got.ID() != xs[0].ID() {
+		t.Error("ReduceMin of one value should be the value itself")
+	}
+}
+
+func TestWriteDOTWithLabels(t *testing.T) {
+	tr := New()
+	a := tr.Input("a")
+	b := tr.Input("b")
+	a.Mul(b)
+	var buf bytes.Buffer
+	if err := tr.WriteDOT(&buf, "demo"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{`"in:a"`, `"mul"`, "0 -> 2", "shape=box", "shape=ellipse"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("DOT missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestReducePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ReduceAdd(nil) should panic")
+		}
+	}()
+	ReduceAdd(nil)
+}

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (no deps).
 
-.PHONY: build test vet bench cover experiments experiments-quick examples fmt
+.PHONY: build test test-race vet bench bench-json cover experiments experiments-quick examples fmt
 
 build:
 	go build ./...
@@ -9,13 +9,22 @@ vet:
 	go vet ./...
 
 test:
+	go vet ./...
 	go test ./...
+
+test-race:
+	go test -race ./...
 
 cover:
 	go test -cover ./internal/...
 
 bench:
 	go test -bench=. -benchmem -benchtime=1x .
+
+# Real benchmark timings (not the 1x smoke run) as machine-readable JSON:
+# name -> {ns_per_op, allocs_per_op, ...} for regression tracking across PRs.
+bench-json:
+	go test -bench=. -benchmem -benchtime=3x . | go run ./cmd/benchjson -o BENCH_PR1.json
 
 experiments:
 	go run ./cmd/experiments -profile default -out results

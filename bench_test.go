@@ -43,6 +43,11 @@ func benchMinCut(b *testing.B, g *graph.Graph, M int) {
 	}
 }
 
+// BenchmarkBound is the canonical end-to-end bound computation used to
+// check that the observability layer costs nothing when disabled: the
+// acceptance bar is <2% regression versus a build without the hooks.
+func BenchmarkBound(b *testing.B) { benchSpectral(b, gen.FFT(7), 16, core.SolverAuto) }
+
 // Figure 7: FFT bound points (spectral and baseline).
 
 func BenchmarkFig7FFTSpectralL8(b *testing.B)  { benchSpectral(b, gen.FFT(8), 4, core.SolverAuto) }

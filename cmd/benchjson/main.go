@@ -1,0 +1,134 @@
+// Command benchjson converts `go test -bench` output into a JSON map of
+// benchmark name to measured cost, for regression tracking across PRs:
+//
+//	go test -bench=. -benchmem . | benchjson -o BENCH.json
+//
+// Lines that are not benchmark results (the goos/goarch header, PASS, ok)
+// are ignored. The -N GOMAXPROCS suffix is stripped from names so results
+// stay comparable across machines with different core counts.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements. Fields beyond ns/op are
+// present only when the corresponding -benchmem columns were in the input.
+type Result struct {
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	in := flag.String("i", "", "input file (default stdin)")
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	results, err := Parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks parsed\n", len(results))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}
+
+// Parse reads `go test -bench` output and returns name → result. A repeated
+// benchmark name (from -count > 1) keeps the fastest run.
+func Parse(r io.Reader) (map[string]Result, error) {
+	results := map[string]Result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		name, res, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if prev, dup := results[name]; !dup || res.NsPerOp < prev.NsPerOp {
+			results[name] = res
+		}
+	}
+	return results, sc.Err()
+}
+
+// parseLine parses one `BenchmarkX-8   30   123 ns/op   45 B/op   6 allocs/op`
+// line; ok is false for anything else.
+func parseLine(line string) (string, Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", Result{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the GOMAXPROCS suffix
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return "", Result{}, false
+	}
+	res := Result{Iterations: iters}
+	sawNs := false
+	// Remaining fields come in "<value> <unit>" pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", Result{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			b := v
+			res.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			res.AllocsPerOp = &a
+		}
+	}
+	if !sawNs {
+		return "", Result{}, false
+	}
+	return name, res, true
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: graphio
+BenchmarkBound-8                  3     41562341 ns/op    9437520 B/op       61 allocs/op
+BenchmarkGraphBuildFFT10-8       12      9876543 ns/op
+PASS
+ok  	graphio	2.345s
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	b, ok := got["BenchmarkBound"]
+	if !ok {
+		t.Fatalf("BenchmarkBound missing (GOMAXPROCS suffix not stripped?): %v", got)
+	}
+	if b.Iterations != 3 || b.NsPerOp != 41562341 {
+		t.Errorf("BenchmarkBound = %+v, want iters=3 ns/op=41562341", b)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 9437520 {
+		t.Errorf("BytesPerOp = %v, want 9437520", b.BytesPerOp)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 61 {
+		t.Errorf("AllocsPerOp = %v, want 61", b.AllocsPerOp)
+	}
+	g := got["BenchmarkGraphBuildFFT10"]
+	if g.BytesPerOp != nil || g.AllocsPerOp != nil {
+		t.Errorf("benchmem fields should be absent without -benchmem columns: %+v", g)
+	}
+}
+
+func TestParseKeepsFastestDuplicate(t *testing.T) {
+	in := "BenchmarkX-4  10  200 ns/op\nBenchmarkX-4  10  100 ns/op\n"
+	got, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkX"].NsPerOp != 100 {
+		t.Errorf("ns/op = %v, want the fastest of the duplicate runs (100)", got["BenchmarkX"].NsPerOp)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	got, err := Parse(strings.NewReader("PASS\nok graphio 1s\nBenchmarkBad-8 x y\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("expected no results from noise input, got %v", got)
+	}
+}

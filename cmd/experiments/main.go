@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"graphio/internal/experiments"
+	"graphio/internal/obs"
 	"graphio/internal/plot"
 )
 
@@ -35,13 +36,28 @@ func main() {
 	maxK := flag.Int("maxk", 0, "override h, the number of eigenvalues computed")
 	doPlot := flag.Bool("plot", false, "render figure tables as ASCII charts after running")
 	plotDir := flag.String("plot-dir", "", "render saved CSVs from this directory and exit (no recomputation)")
+	ofl := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := ofl.Begin(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+
+	// os.Exit skips defers, so flush the observability bundle explicitly on
+	// every path: metrics from a failed sweep are exactly the interesting ones.
+	finish := func() {
+		if err := ofl.Finish(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		}
+	}
 
 	if *plotDir != "" {
 		if err := plotSaved(*plotDir); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			finish()
 			os.Exit(1)
 		}
+		finish()
 		return
 	}
 
@@ -84,6 +100,7 @@ func main() {
 	tables, err := experiments.RunAll(cfg, *out, names, os.Stdout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		finish()
 		os.Exit(1)
 	}
 	if *doPlot {
@@ -92,6 +109,7 @@ func main() {
 		}
 	}
 	fmt.Printf("total %v\n", time.Since(start).Round(time.Millisecond))
+	finish()
 }
 
 // plotSaved renders every known figure CSV found in dir, in figure order.

@@ -8,6 +8,7 @@ import (
 	"graphio/internal/core"
 	"graphio/internal/laplacian"
 	"graphio/internal/mincut"
+	"graphio/internal/obs"
 	"graphio/internal/pebble"
 	"graphio/internal/redblue"
 )
@@ -16,14 +17,19 @@ import (
 // report: spectral bounds (both Laplacians, serial and parallel), the
 // convex min-cut baseline, a concrete-order partition certificate
 // (Theorem 2/3), and a simulated upper bound, bracketing J*.
-func cmdAnalyze(args []string) error {
+func cmdAnalyze(args []string) (err error) {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	load := graphFlags(fs)
 	M := fs.Int("M", 16, "fast memory size in elements")
 	maxK := fs.Int("k", 100, "eigenvalues computed / top of the k sweep")
 	samples := fs.Int("samples", 20, "random orders for the upper-bound search")
 	mcTimeout := fs.Duration("mincut-timeout", 30*time.Second, "time box for the baseline sweep")
+	ofl := obs.AddFlags(fs)
 	fs.Parse(args)
+	if err := ofl.Begin(); err != nil {
+		return err
+	}
+	defer finishObs(ofl, &err)
 	g, err := load()
 	if err != nil {
 		return err

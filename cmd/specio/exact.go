@@ -9,18 +9,24 @@ import (
 	"graphio/internal/core"
 	"graphio/internal/expansion"
 	"graphio/internal/hier"
+	"graphio/internal/obs"
 	"graphio/internal/pebble"
 	"graphio/internal/redblue"
 )
 
 // cmdExact runs the exact red-blue pebble solver (tiny graphs only) and
 // reports the true J*.
-func cmdExact(args []string) error {
+func cmdExact(args []string) (err error) {
 	fs := flag.NewFlagSet("exact", flag.ExitOnError)
 	load := graphFlags(fs)
 	M := fs.Int("M", 2, "fast memory size in elements")
 	maxStates := fs.Int("max-states", 0, "abort beyond this many search states (0 = default)")
+	ofl := obs.AddFlags(fs)
 	fs.Parse(args)
+	if err := ofl.Begin(); err != nil {
+		return err
+	}
+	defer finishObs(ofl, &err)
 	g, err := load()
 	if err != nil {
 		return err
@@ -37,11 +43,16 @@ func cmdExact(args []string) error {
 
 // cmdHier analyzes a graph on a multi-level hierarchy: per-boundary
 // Theorem 4 floors plus simulated traffic for two schedules.
-func cmdHier(args []string) error {
+func cmdHier(args []string) (err error) {
 	fs := flag.NewFlagSet("hier", flag.ExitOnError)
 	load := graphFlags(fs)
 	capsFlag := fs.String("caps", "4,16,64", "comma-separated level capacities, fastest first")
+	ofl := obs.AddFlags(fs)
 	fs.Parse(args)
+	if err := ofl.Begin(); err != nil {
+		return err
+	}
+	defer finishObs(ofl, &err)
 	g, err := load()
 	if err != nil {
 		return err
@@ -74,10 +85,15 @@ func cmdHier(args []string) error {
 
 // cmdExpansion reports edge-expansion quantities: λ2, the Cheeger
 // interval, the Fiedler sweep cut, and (for tiny graphs) the exact h(G).
-func cmdExpansion(args []string) error {
+func cmdExpansion(args []string) (err error) {
 	fs := flag.NewFlagSet("expansion", flag.ExitOnError)
 	load := graphFlags(fs)
+	ofl := obs.AddFlags(fs)
 	fs.Parse(args)
+	if err := ofl.Begin(); err != nil {
+		return err
+	}
+	defer finishObs(ofl, &err)
 	g, err := load()
 	if err != nil {
 		return err

@@ -27,8 +27,21 @@ import (
 	"graphio/internal/graph"
 	"graphio/internal/laplacian"
 	"graphio/internal/mincut"
+	"graphio/internal/obs"
 	"graphio/internal/pebble"
 )
+
+// finishObs flushes the observability bundle (profiles, metrics dump) and
+// folds any flush error into the command's return value. Commands use it as
+//
+//	defer finishObs(ofl, &err)
+//
+// with a named error return, so metrics are written even on failure paths.
+func finishObs(c *obs.CLI, err *error) {
+	if ferr := c.Finish(); *err == nil {
+		*err = ferr
+	}
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -131,12 +144,17 @@ func graphFlags(fs *flag.FlagSet) func() (*graph.Graph, error) {
 	}
 }
 
-func cmdGen(args []string) error {
+func cmdGen(args []string) (err error) {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	load := graphFlags(fs)
 	format := fs.String("format", "json", "output format: json|dot")
 	out := fs.String("o", "", "output file (default stdout)")
+	ofl := obs.AddFlags(fs)
 	fs.Parse(args)
+	if err := ofl.Begin(); err != nil {
+		return err
+	}
+	defer finishObs(ofl, &err)
 	g, err := load()
 	if err != nil {
 		return err
@@ -188,7 +206,7 @@ func parseSolver(s string) (core.Solver, error) {
 	}
 }
 
-func cmdBound(args []string) error {
+func cmdBound(args []string) (err error) {
 	fs := flag.NewFlagSet("bound", flag.ExitOnError)
 	load := graphFlags(fs)
 	M := fs.Int("M", 16, "fast memory size in elements")
@@ -196,8 +214,12 @@ func cmdBound(args []string) error {
 	lap := fs.String("laplacian", "normalized", "normalized (Theorem 4) or original (Theorem 5)")
 	procs := fs.Int("p", 1, "processors (Theorem 6 when > 1)")
 	solver := fs.String("solver", "auto", "eigensolver: auto|dense|lanczos|power")
-	verbose := fs.Bool("v", false, "print the per-k sweep")
+	ofl := obs.AddFlags(fs)
 	fs.Parse(args)
+	if err := ofl.Begin(); err != nil {
+		return err
+	}
+	defer finishObs(ofl, &err)
 	g, err := load()
 	if err != nil {
 		return err
@@ -228,7 +250,7 @@ func cmdBound(args []string) error {
 		fmt.Printf("warning: max in-degree %d exceeds M=%d — no evaluation order is feasible at this M\n",
 			g.MaxInDeg(), *M)
 	}
-	if *verbose {
+	if ofl.Verbose {
 		fmt.Println("k  lambda_k  bound(k)")
 		for i, v := range res.PerK {
 			fmt.Printf("%-3d %-9.5f %.4f\n", i+1, res.Eigenvalues[i], v)
@@ -237,13 +259,18 @@ func cmdBound(args []string) error {
 	return nil
 }
 
-func cmdSpectrum(args []string) error {
+func cmdSpectrum(args []string) (err error) {
 	fs := flag.NewFlagSet("spectrum", flag.ExitOnError)
 	load := graphFlags(fs)
 	maxK := fs.Int("k", 20, "how many of the smallest eigenvalues to print")
 	lap := fs.String("laplacian", "normalized", "normalized or original")
 	solver := fs.String("solver", "auto", "auto|dense|lanczos|power")
+	ofl := obs.AddFlags(fs)
 	fs.Parse(args)
+	if err := ofl.Begin(); err != nil {
+		return err
+	}
+	defer finishObs(ofl, &err)
 	g, err := load()
 	if err != nil {
 		return err
@@ -266,13 +293,18 @@ func cmdSpectrum(args []string) error {
 	return nil
 }
 
-func cmdMinCut(args []string) error {
+func cmdMinCut(args []string) (err error) {
 	fs := flag.NewFlagSet("mincut", flag.ExitOnError)
 	load := graphFlags(fs)
 	M := fs.Int("M", 16, "fast memory size in elements")
 	timeout := fs.Duration("timeout", 0, "stop the per-vertex sweep after this long (0 = never)")
 	maxV := fs.Int("max-vertices", 0, "evaluate at most this many vertices (0 = all)")
+	ofl := obs.AddFlags(fs)
 	fs.Parse(args)
+	if err := ofl.Begin(); err != nil {
+		return err
+	}
+	defer finishObs(ofl, &err)
 	g, err := load()
 	if err != nil {
 		return err
@@ -291,7 +323,7 @@ func cmdMinCut(args []string) error {
 	return nil
 }
 
-func cmdSimulate(args []string) error {
+func cmdSimulate(args []string) (err error) {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
 	load := graphFlags(fs)
 	M := fs.Int("M", 16, "fast memory size in elements")
@@ -299,7 +331,12 @@ func cmdSimulate(args []string) error {
 	samples := fs.Int("samples", 20, "random topological orders to try")
 	seed := fs.Int64("order-seed", 1, "seed for the random order search")
 	anneal := fs.Int("anneal", 0, "refine the best order with this many annealing steps")
+	ofl := obs.AddFlags(fs)
 	fs.Parse(args)
+	if err := ofl.Begin(); err != nil {
+		return err
+	}
+	defer finishObs(ofl, &err)
 	g, err := load()
 	if err != nil {
 		return err

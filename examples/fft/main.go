@@ -15,9 +15,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"math"
 
+	"graphio/examples/internal/exutil"
 	"graphio/internal/analytic"
 	"graphio/internal/core"
 	"graphio/internal/gen"
@@ -35,9 +35,7 @@ func main() {
 	for l := 3; l <= *maxL; l++ {
 		g := gen.FFT(l)
 		res, err := core.SpectralBound(g, core.Options{M: *M})
-		if err != nil {
-			log.Fatal(err)
-		}
+		exutil.Check(err, fmt.Sprintf("spectral bound for FFT l=%d", l))
 		// Theorem 5 fed the exact closed-form spectrum: no eigensolver.
 		spec := analytic.ButterflySpectrum(l)
 		closedT5, _, _ := core.BoundFromEigenvalues(spec, g.N(), *M, 1, float64(g.MaxOutDeg()))
@@ -62,12 +60,8 @@ func main() {
 	// bounds nearly coincide.
 	g := gen.FFT(8)
 	t4, err := core.SpectralBound(g, core.Options{M: *M})
-	if err != nil {
-		log.Fatal(err)
-	}
+	exutil.Check(err, "Theorem 4 bound for the l=8 ablation")
 	t5, err := core.SpectralBound(g, core.Options{M: *M, Laplacian: laplacian.Original})
-	if err != nil {
-		log.Fatal(err)
-	}
+	exutil.Check(err, "Theorem 5 bound for the l=8 ablation")
 	fmt.Printf("l=8 ablation: Theorem 4 = %.2f, Theorem 5 = %.2f\n", t4.Bound, t5.Bound)
 }

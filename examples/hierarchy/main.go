@@ -10,8 +10,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 
+	"graphio/examples/internal/exutil"
 	"graphio/internal/core"
 	"graphio/internal/gen"
 	"graphio/internal/hier"
@@ -28,18 +28,14 @@ func main() {
 		g.Name(), g.N(), caps[0], caps[1], caps[2])
 
 	floors, err := hier.Bounds(g, caps, core.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
+	exutil.Check(err, "per-boundary Theorem 4 floors")
 
 	for name, order := range map[string][]int{
 		"kahn":     g.TopoOrder(),
 		"frontier": pebble.FrontierOrder(g),
 	} {
 		res, err := hier.Simulate(g, order, caps)
-		if err != nil {
-			log.Fatal(err)
-		}
+		exutil.Check(err, fmt.Sprintf("simulating the %s order on the hierarchy", name))
 		fmt.Printf("\n%s order:\n", name)
 		cum := 0
 		for i, c := range caps {

@@ -1,0 +1,41 @@
+// Package exutil is the examples' shared fatal-error helper: every example
+// routes unrecoverable errors through Check or Fatalf so failures exit
+// non-zero with a one-line message saying what was being attempted, instead
+// of a bare log.Fatal(err) with no context.
+package exutil
+
+import (
+	"fmt"
+	"os"
+)
+
+// Check exits with status 1 when err is non-nil, printing the failing
+// operation and the error on one line. A nil err is a no-op.
+func Check(err error, context string) {
+	if err == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: %s: %v\n", prog(), context, err)
+	os.Exit(1)
+}
+
+// Fatalf prints a formatted one-line message and exits with status 1. For
+// failures that are not carried by an error value (bad flag combinations,
+// impossible configurations).
+func Fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", prog(), fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
+
+func prog() string {
+	if len(os.Args) > 0 && os.Args[0] != "" {
+		base := os.Args[0]
+		for i := len(base) - 1; i >= 0; i-- {
+			if base[i] == '/' {
+				return base[i+1:]
+			}
+		}
+		return base
+	}
+	return "example"
+}

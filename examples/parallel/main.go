@@ -11,8 +11,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 
+	"graphio/examples/internal/exutil"
 	"graphio/internal/core"
 	"graphio/internal/gen"
 	"graphio/internal/graph"
@@ -31,9 +31,7 @@ func main() {
 		// One eigensolve serves the whole sweep: Theorem 6 only changes
 		// the ⌊n/(kp)⌋ factor in front of the cached spectrum.
 		res, err := core.SpectralBound(g, core.Options{M: m})
-		if err != nil {
-			log.Fatal(err)
-		}
+		exutil.Check(err, fmt.Sprintf("spectral bound for %s", g.Name()))
 		fmt.Printf("%s (n=%d, M=%d per processor)\n", g.Name(), g.N(), m)
 		fmt.Printf("  %6s %14s %8s\n", "p", "busiest-proc", "best k")
 		for _, p := range procs {

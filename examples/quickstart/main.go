@@ -6,8 +6,8 @@ package main
 
 import (
 	"fmt"
-	"log"
 
+	"graphio/examples/internal/exutil"
 	"graphio/internal/core"
 	"graphio/internal/gen"
 	"graphio/internal/pebble"
@@ -33,17 +33,13 @@ func main() {
 	// Spectral lower bound (Theorem 4) for a fast memory of M = 2 values.
 	const M = 2
 	res, err := core.SpectralBound(g, core.Options{M: M})
-	if err != nil {
-		log.Fatal(err)
-	}
+	exutil.Check(err, "spectral bound for the traced inner product")
 	fmt.Printf("spectral lower bound at M=%d: %.2f I/Os (best k = %d)\n", M, res.Bound, res.BestK)
 
 	// Upper bound: simulate real evaluation orders under the same memory
 	// model and keep the best.
 	best, _, name, err := pebble.BestOrder(g, M, pebble.Belady, 50, 1)
-	if err != nil {
-		log.Fatal(err)
-	}
+	exutil.Check(err, "simulated upper bound for the traced inner product")
 	fmt.Printf("best simulated schedule at M=%d: %d I/Os (reads=%d, writes=%d, order=%s)\n",
 		M, best.Total(), best.Reads, best.Writes, name)
 	fmt.Printf("J* is sandwiched: %.2f ≤ J* ≤ %d\n", res.Bound, best.Total())
@@ -53,13 +49,9 @@ func main() {
 	// butterfly, whose connectivity forces real data movement.
 	fft := gen.FFT(8)
 	fres, err := core.SpectralBound(fft, core.Options{M: 4})
-	if err != nil {
-		log.Fatal(err)
-	}
+	exutil.Check(err, "spectral bound for the 256-point FFT")
 	fbest, _, _, err := pebble.BestOrder(fft, 4, pebble.Belady, 10, 1)
-	if err != nil {
-		log.Fatal(err)
-	}
+	exutil.Check(err, "simulated upper bound for the 256-point FFT")
 	fmt.Printf("\n256-point FFT (%d vertices) at M=4: %.2f ≤ J* ≤ %d\n",
 		fft.N(), fres.Bound, fbest.Total())
 }

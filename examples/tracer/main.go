@@ -10,8 +10,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 
+	"graphio/examples/internal/exutil"
 	"graphio/internal/core"
 	"graphio/internal/mincut"
 	"graphio/internal/pebble"
@@ -61,13 +61,9 @@ func main() {
 
 	// Lower bounds: spectral and the convex min-cut baseline.
 	spec, err := core.SpectralBound(g, core.Options{M: *M})
-	if err != nil {
-		log.Fatal(err)
-	}
+	exutil.Check(err, "spectral bound for the traced stencil")
 	mc, err := mincut.ConvexMinCutBound(g, mincut.Options{M: *M})
-	if err != nil {
-		log.Fatal(err)
-	}
+	exutil.Check(err, "convex min-cut baseline for the traced stencil")
 	fmt.Printf("lower bounds at M=%d: spectral %.2f, convex min-cut %.2f\n",
 		*M, spec.Bound, mc.Bound)
 
@@ -79,19 +75,13 @@ func main() {
 	}
 	for name, order := range orders {
 		lru, err := pebble.Simulate(g, order, *M, pebble.LRU)
-		if err != nil {
-			log.Fatal(err)
-		}
+		exutil.Check(err, fmt.Sprintf("simulating the %s order under LRU", name))
 		bel, err := pebble.Simulate(g, order, *M, pebble.Belady)
-		if err != nil {
-			log.Fatal(err)
-		}
+		exutil.Check(err, fmt.Sprintf("simulating the %s order under Belady", name))
 		fmt.Printf("order %-5s: LRU %5d I/Os, Belady %5d I/Os\n", name, lru.Total(), bel.Total())
 	}
 	best, _, name, err := pebble.BestOrder(g, *M, pebble.Belady, 40, 1)
-	if err != nil {
-		log.Fatal(err)
-	}
+	exutil.Check(err, "searching evaluation orders for the traced stencil")
 	fmt.Printf("best schedule found: %d I/Os (%s)\n", best.Total(), name)
 	fmt.Printf("J* sandwiched: %.2f ≤ J* ≤ %d\n", spec.Bound, best.Total())
 }

@@ -10,8 +10,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 
+	"graphio/examples/internal/exutil"
 	"graphio/internal/analytic"
 	"graphio/internal/core"
 	"graphio/internal/gen"
@@ -29,18 +29,14 @@ func main() {
 	fmt.Printf("Bellman-Held-Karp for %d cities: hypercube with %d vertices, %d edges\n",
 		l, g.N(), g.M())
 	if g.MaxInDeg() > *M {
-		log.Fatalf("M=%d cannot hold the %d operands of the final subproblems; raise -M", *M, g.MaxInDeg())
+		exutil.Fatalf("M=%d cannot hold the %d operands of the final subproblems; raise -M", *M, g.MaxInDeg())
 	}
 
 	// Serial bound, both Laplacians.
 	t4, err := core.SpectralBound(g, core.Options{M: *M})
-	if err != nil {
-		log.Fatal(err)
-	}
+	exutil.Check(err, "Theorem 4 bound for the BHK hypercube")
 	t5, err := core.SpectralBound(g, core.Options{M: *M, Laplacian: laplacian.Original})
-	if err != nil {
-		log.Fatal(err)
-	}
+	exutil.Check(err, "Theorem 5 bound for the BHK hypercube")
 	simple := analytic.HypercubeBoundSimple(l, *M)
 	closed, bestK := analytic.HypercubeBoundOptimal(l, *M)
 	fmt.Printf("serial bounds at M=%d:\n", *M)
@@ -53,18 +49,14 @@ func main() {
 	fmt.Printf("parallel bounds at M=%d (busiest of p processors):\n", *M)
 	for _, p := range []int{2, 4, 8} {
 		par, err := core.SpectralBound(g, core.Options{M: *M, Processors: p})
-		if err != nil {
-			log.Fatal(err)
-		}
+		exutil.Check(err, fmt.Sprintf("Theorem 6 bound at p=%d", p))
 		fmt.Printf("  p=%d: %10.2f\n", p, par.Bound)
 	}
 
 	// For small instances, sandwich J* with a simulated schedule.
 	if l <= 10 {
 		best, _, name, err := pebble.BestOrder(g, *M, pebble.Belady, 30, 1)
-		if err != nil {
-			log.Fatal(err)
-		}
+		exutil.Check(err, "searching evaluation orders for the sandwich")
 		fmt.Printf("simulated upper bound: %d I/Os (order=%s)\n", best.Total(), name)
 		fmt.Printf("J* sandwiched: %.2f ≤ J* ≤ %d\n", t4.Bound, best.Total())
 	}

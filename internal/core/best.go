@@ -6,6 +6,7 @@ import (
 	"graphio/internal/graph"
 	"graphio/internal/laplacian"
 	"graphio/internal/mincut"
+	"graphio/internal/obs"
 )
 
 // LowerBound is one method's certificate inside a BestLowerBound report.
@@ -30,6 +31,7 @@ type BestReport struct {
 // graph; mincutTimeout bounds the baseline sweep (0 disables the baseline
 // entirely, which is the right choice above ~50k vertices).
 func BestLowerBound(g *graph.Graph, M int, maxK int, mincutTimeout time.Duration) (*BestReport, error) {
+	sp := obs.StartSpan("core.best_lower_bound")
 	rep := &BestReport{}
 	add := func(method string, bound float64, elapsed time.Duration) {
 		lb := LowerBound{Method: method, Bound: bound, Elapsed: elapsed}
@@ -37,6 +39,8 @@ func BestLowerBound(g *graph.Graph, M int, maxK int, mincutTimeout time.Duration
 		if bound > rep.Best.Bound || rep.Best.Method == "" {
 			rep.Best = lb
 		}
+		obs.Observe("core.best."+method, elapsed)
+		obs.Logf("best: %-9s bound=%.4f in %v", method, bound, elapsed.Round(time.Microsecond))
 	}
 
 	start := time.Now()
@@ -63,5 +67,8 @@ func BestLowerBound(g *graph.Graph, M int, maxK int, mincutTimeout time.Duration
 		}
 		add("mincut", mc.Bound, mc.Elapsed)
 	}
+	sp.SetStr("winner", rep.Best.Method)
+	sp.SetFloat("bound", rep.Best.Bound)
+	sp.End()
 	return rep, nil
 }

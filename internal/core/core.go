@@ -19,10 +19,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"graphio/internal/graph"
 	"graphio/internal/laplacian"
 	"graphio/internal/linalg"
+	"graphio/internal/obs"
 )
 
 // Solver selects the eigenvalue backend.
@@ -164,35 +166,61 @@ func SpectralBound(g *graph.Graph, opt Options) (*Result, error) {
 		}
 	}
 
+	sp := obs.StartSpan("core.spectral_bound")
+	sp.SetInt("n", int64(n))
+	sp.SetInt("h", int64(h))
+	sp.SetStr("solver", solver.String())
+	sp.SetStr("laplacian", opt.Laplacian.String())
+
 	var lambda []float64
 	switch solver {
 	case SolverDense:
+		lsp := sp.Child("laplacian")
 		L := laplacian.BuildDense(g, opt.Laplacian)
+		lsp.End()
+		esp := sp.Child("eigensolve")
 		vals, err := linalg.SymEigValues(L)
 		if err != nil {
 			return nil, fmt.Errorf("core: dense eigensolve: %w", err)
 		}
+		esp.End()
+		// The dense path applies no operator products; register the matvec
+		// counter anyway so the metric exists for every solver choice.
+		obs.Add("linalg.matvecs", 0)
 		if len(vals) > h {
 			vals = vals[:h]
 		}
 		lambda = vals
 	case SolverLanczos, SolverPower, SolverChebyshev:
+		lsp := sp.Child("laplacian")
 		L, err := laplacian.BuildCSR(g, opt.Laplacian)
 		if err != nil {
 			return nil, fmt.Errorf("core: building Laplacian: %w", err)
 		}
 		c := L.GershgorinUpper()
+		lsp.End()
+		var op linalg.Operator = L
+		var cnt *linalg.CountingOperator
+		if obs.Enabled() {
+			cnt = &linalg.CountingOperator{A: L}
+			op = cnt
+		}
+		esp := sp.Child("eigensolve")
 		switch solver {
 		case SolverLanczos:
-			lambda, err = linalg.SmallestEigsPSD(L, c, h, opt.Lanczos)
+			lambda, err = linalg.SmallestEigsPSD(op, c, h, opt.Lanczos)
 		case SolverPower:
-			lambda, err = linalg.PowerSmallestPSD(L, c, h, opt.Power)
+			lambda, err = linalg.PowerSmallestPSD(op, c, h, opt.Power)
 		default:
-			lambda, err = linalg.ChebFilteredSmallest(L, c, h, opt.Chebyshev)
+			lambda, err = linalg.ChebFilteredSmallest(op, c, h, opt.Chebyshev)
+		}
+		if cnt != nil {
+			obs.Add("linalg.matvecs", cnt.Count())
 		}
 		if err != nil {
 			return nil, fmt.Errorf("core: %v eigensolve: %w", solver, err)
 		}
+		esp.End()
 	default:
 		return nil, fmt.Errorf("core: unknown solver %v", opt.Solver)
 	}
@@ -211,7 +239,12 @@ func SpectralBound(g *graph.Graph, opt Options) (*Result, error) {
 			lambda[i] = 0 // PSD spectrum; clamp eigensolver round-off
 		}
 	}
+	ksp := sp.Child("ksweep")
 	bound, bestK, perK := BoundFromEigenvalues(lambda, n, opt.M, opt.Processors, divisor)
+	ksp.End()
+	sp.SetFloat("bound", bound)
+	sp.SetInt("best_k", int64(bestK))
+	sp.End()
 	res := &Result{
 		Bound:       bound,
 		BestK:       bestK,
@@ -247,7 +280,15 @@ func BoundFromEigenvalues(lambda []float64, n, M, p int, divisor float64) (bound
 	}
 	perK = make([]float64, len(lambda))
 	sum := 0.0
+	// Per-k evaluation timings feed the "core.boundk" timer when the
+	// observability layer is on; each evaluation is a handful of flops, so
+	// the clock reads are gated rather than unconditional.
+	timed := obs.Enabled()
 	for i, l := range lambda {
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
 		if l < 0 {
 			l = 0 // eigenvalues of a PSD Laplacian; clamp round-off
 		}
@@ -255,6 +296,9 @@ func BoundFromEigenvalues(lambda []float64, n, M, p int, divisor float64) (bound
 		k := i + 1
 		seg := n / (k * p) // ⌊n/(kp)⌋
 		perK[i] = float64(seg)*sum/divisor - 2*float64(k)*float64(M)
+		if timed {
+			obs.Observe("core.boundk", time.Since(t0))
+		}
 	}
 	raw := rawMax(perK)
 	bound = raw

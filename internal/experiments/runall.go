@@ -5,9 +5,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"graphio/internal/gen"
 	"graphio/internal/graph"
+	"graphio/internal/obs"
 )
 
 // Runner names one experiment and how to produce its table.
@@ -67,7 +69,15 @@ func RunAll(cfg Config, outDir string, names []string, log io.Writer) ([]*Table,
 			continue
 		}
 		fmt.Fprintf(log, "== running %s\n", r.Name)
+		runStart := time.Now()
+		stop := heartbeat(cfg.Progress, r.Name, runStart)
 		t, err := r.Run(cfg)
+		stop()
+		elapsed := time.Since(runStart)
+		obs.Observe("experiments."+r.Name, elapsed)
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "experiments: %s done in %v\n", r.Name, elapsed.Round(time.Millisecond))
+		}
 		if err != nil {
 			return nil, fmt.Errorf("experiment %s: %w", r.Name, err)
 		}
@@ -101,6 +111,36 @@ func RunAll(cfg Config, outDir string, names []string, log io.Writer) ([]*Table,
 		}
 	}
 	return tables, nil
+}
+
+// heartbeat emits a still-running line to w every interval until the
+// returned stop function is called. Long sweeps (minutes per experiment)
+// would otherwise look hung between the "== running" banner and the table.
+func heartbeat(w io.Writer, name string, start time.Time) (stop func()) {
+	if w == nil {
+		return func() {}
+	}
+	const interval = 15 * time.Second
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Fprintf(w, "experiments: %s still running (%v elapsed)\n",
+					name, time.Since(start).Round(time.Second))
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
 }
 
 func writeCSV(outDir string, t *Table) error {

@@ -8,6 +8,8 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+
+	"graphio/internal/obs"
 )
 
 // ChebDebug, when non-nil, receives one diagnostic line per filtered
@@ -121,7 +123,25 @@ func ChebFilteredSmallest(A Operator, c float64, h int, opt *ChebOptions) ([]flo
 	prevWorst := math.Inf(1)
 	cappedNoGap := 0 // consecutive sweeps stuck at max block with no usable gap
 
+	// Solver telemetry, reported once per solve so the sweep loop carries
+	// no per-iteration observability cost.
+	sweeps := 0
+	growths := 0
+	lastWorst := math.NaN()
+	defer func() {
+		if !obs.Enabled() {
+			return
+		}
+		obs.Add("linalg.eigensolver.iterations", int64(sweeps))
+		obs.Add("linalg.cheb.sweeps", int64(sweeps))
+		obs.Add("linalg.cheb.block_growths", int64(growths))
+		obs.SetGauge("linalg.cheb.block", float64(b))
+		obs.SetGauge("linalg.cheb.degree", float64(degree))
+		obs.SetGauge("linalg.cheb.worst_residual", lastWorst) // NaN before the first sweep is dropped
+	}()
+
 	for iter := 0; iter < o.MaxIter; iter++ {
+		sweeps++
 		// Precision cap on the filter degree: the amplification ratio
 		// between the bottom of the spectrum and the cut grows like
 		// exp(d·acosh(m0)) with m0 the affine image of 0; letting it pass
@@ -188,6 +208,7 @@ func ChebFilteredSmallest(A Operator, c float64, h int, opt *ChebOptions) ([]flo
 				worst = r
 			}
 		}
+		lastWorst = worst
 		if ChebDebug != nil {
 			fmt.Fprintf(ChebDebug, "cheb iter=%d b=%d deg=%d(cap %d) aCut=%.6g worst=%.3g theta[h-1]=%.6g\n",
 				iter, b, degEff, dcap, aCut, worst, theta[h-1])
@@ -227,6 +248,7 @@ func ChebFilteredSmallest(A Operator, c float64, h int, opt *ChebOptions) ([]flo
 				// (possibly a single degenerate eigenvalue spilling past
 				// the block): no cut separates inside it. Grow the block
 				// until the cluster — and a real gap — fits.
+				growths++
 				grow := b / 2
 				if b+grow > maxBlock {
 					grow = maxBlock - b

@@ -1,0 +1,26 @@
+package linalg
+
+import "sync/atomic"
+
+// CountingOperator wraps an Operator and counts MatVec applications.
+// The increment is atomic because the Chebyshev solver applies the filter
+// from a pool of worker goroutines; one atomic add is negligible next to
+// the O(nnz) mat-vec it counts. The spectral-bound core wraps solver
+// inputs with it when observability is enabled, so the count covers pilot
+// runs, filter applications and residual checks alike.
+type CountingOperator struct {
+	A Operator
+	n atomic.Int64
+}
+
+// Dim implements Operator.
+func (c *CountingOperator) Dim() int { return c.A.Dim() }
+
+// MatVec implements Operator, counting the application.
+func (c *CountingOperator) MatVec(dst, src []float64) {
+	c.n.Add(1)
+	c.A.MatVec(dst, src)
+}
+
+// Count returns the number of MatVec applications so far.
+func (c *CountingOperator) Count() int64 { return c.n.Load() }

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"graphio/internal/obs"
 )
 
 // Dense is a square matrix in row-major order.
@@ -74,9 +76,17 @@ func (m *Dense) IsSymmetric(tol float64) bool {
 // reduction to tridiagonal form) + tql2 (QL with implicit Wilkinson shifts),
 // ported from scratch. Cost is O(n^3).
 func SymEig(a *Dense, wantV bool) (vals []float64, vecs *Dense, err error) {
+	vals, vecs, _, err = symEig(a, wantV)
+	return vals, vecs, err
+}
+
+// symEig is SymEig plus the QL iteration count, so top-level entry points
+// can report solver effort without inner Rayleigh-Ritz solves (Chebyshev
+// calls SymEig every sweep) polluting the counters.
+func symEig(a *Dense, wantV bool) (vals []float64, vecs *Dense, iters int, err error) {
 	n := a.N
 	if n == 0 {
-		return nil, nil, nil
+		return nil, nil, 0, nil
 	}
 	work := a.Clone()
 	rows := make([][]float64, n)
@@ -90,8 +100,9 @@ func SymEig(a *Dense, wantV bool) (vals []float64, vecs *Dense, err error) {
 	if wantV {
 		z = rows
 	}
-	if err := tql2(d, e, z); err != nil {
-		return nil, nil, err
+	iters, err = tql2(d, e, z)
+	if err != nil {
+		return nil, nil, iters, err
 	}
 	// Sort eigenvalues (and columns of z) ascending with a simple selection
 	// sort; n^2 swaps are negligible next to the n^3 factorization.
@@ -114,13 +125,18 @@ func SymEig(a *Dense, wantV bool) (vals []float64, vecs *Dense, err error) {
 	if wantV {
 		vecs = work
 	}
-	return d, vecs, nil
+	return d, vecs, iters, nil
 }
 
 // SymEigValues returns only the eigenvalues of the symmetric matrix a, in
-// ascending order.
+// ascending order. As the dense path's top-level eigensolve it reports the
+// QL sweep count to the observability layer.
 func SymEigValues(a *Dense) ([]float64, error) {
-	vals, _, err := SymEig(a, false)
+	vals, _, iters, err := symEig(a, false)
+	if err == nil && obs.Enabled() {
+		obs.Add("linalg.eigensolver.iterations", int64(iters))
+		obs.Add("linalg.dense.ql_iters", int64(iters))
+	}
 	return vals, err
 }
 
@@ -216,11 +232,13 @@ func tred2(a [][]float64, d, e []float64, wantV bool) {
 // using the QL algorithm with implicit shifts. On return d holds the
 // eigenvalues (unsorted) and the columns of z the eigenvectors. z must be
 // initialized to the identity (for a tridiagonal input) or to the
-// tridiagonalizing transformation (as produced by tred2).
-func tql2(d, e []float64, z [][]float64) error {
+// tridiagonalizing transformation (as produced by tred2). Returns the
+// total implicit-shift QL iteration count across eigenvalues.
+func tql2(d, e []float64, z [][]float64) (int, error) {
 	n := len(d)
+	total := 0
 	if n == 0 {
-		return nil
+		return 0, nil
 	}
 	const eps = 2.220446049250313e-16
 	for i := 1; i < n; i++ {
@@ -241,8 +259,9 @@ func tql2(d, e []float64, z [][]float64) error {
 				break
 			}
 			iter++
+			total++
 			if iter > 60 {
-				return fmt.Errorf("linalg: tql2 failed to converge at eigenvalue %d", l)
+				return total, fmt.Errorf("linalg: tql2 failed to converge at eigenvalue %d", l)
 			}
 			g := (d[l+1] - d[l]) / (2 * e[l])
 			r := math.Hypot(g, 1)
@@ -284,7 +303,7 @@ func tql2(d, e []float64, z [][]float64) error {
 			e[m] = 0
 		}
 	}
-	return nil
+	return total, nil
 }
 
 // TridiagEig computes the eigendecomposition of the symmetric tridiagonal
@@ -314,7 +333,7 @@ func TridiagEig(diag, sub []float64, wantV bool) (vals []float64, vecs *Dense, e
 			z[i][i] = 1
 		}
 	}
-	if err := tql2(d, e, z); err != nil {
+	if _, err := tql2(d, e, z); err != nil {
 		return nil, nil, err
 	}
 	// Selection sort ascending, permuting columns of z alongside.

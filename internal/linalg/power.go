@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+
+	"graphio/internal/obs"
 )
 
 // PowerOptions tunes PowerSmallestPSD.
@@ -62,6 +64,17 @@ func PowerSmallestPSD(A Operator, c float64, h int, opt *PowerOptions) ([]float6
 	vals := make([]float64, 0, h)
 	bv := make([]float64, n)
 	resid := make([]float64, n)
+	// Solver telemetry: total iterations across all deflated eigenpairs,
+	// reported once per solve (success or failure).
+	totalIters := 0
+	defer func() {
+		if !obs.Enabled() {
+			return
+		}
+		obs.Add("linalg.eigensolver.iterations", int64(totalIters))
+		obs.Add("linalg.power.iterations", int64(totalIters))
+		obs.SetGauge("linalg.power.locked", float64(len(locked)))
+	}()
 	for len(locked) < h {
 		v := make([]float64, n)
 		for {
@@ -76,6 +89,7 @@ func PowerSmallestPSD(A Operator, c float64, h int, opt *PowerOptions) ([]float6
 		theta := 0.0
 		converged := false
 		for iter := 0; iter < o.MaxIter; iter++ {
+			totalIters++
 			B.MatVec(bv, v)
 			// Deflate: keep the iterate in the complement of locked space.
 			OrthogonalizeAgainst(bv, locked)

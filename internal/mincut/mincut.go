@@ -33,6 +33,7 @@ import (
 
 	"graphio/internal/graph"
 	"graphio/internal/maxflow"
+	"graphio/internal/obs"
 )
 
 // Options configures ConvexMinCutBound.
@@ -155,9 +156,11 @@ func ConvexMinCutBound(g *graph.Graph, opt Options) (*Result, error) {
 		return nil, errors.New("mincut: Options.M must be ≥ 1")
 	}
 	start := time.Now()
+	sp := obs.StartSpan("mincut.sweep")
 	n := g.N()
 	res := &Result{BestVertex: -1}
 	if n == 0 {
+		sp.End()
 		return res, nil
 	}
 
@@ -266,5 +269,22 @@ func ConvexMinCutBound(g *graph.Graph, opt Options) (*Result, error) {
 		}
 	}
 	res.Elapsed = time.Since(start)
+	if obs.Enabled() {
+		obs.Add("mincut.flows", int64(res.Evaluated))
+		// Everything the upper-bound ordering let the sweep skip: candidates
+		// whose cheap frontier bound could not beat the running maximum.
+		obs.Add("mincut.pruned", int64(limit-res.Evaluated))
+		if res.TimedOut {
+			obs.Inc("mincut.timeouts")
+		}
+	}
+	if res.TimedOut {
+		obs.Logf("mincut: timed out after %v with %d/%d flows evaluated (bound is valid but possibly weaker)",
+			res.Elapsed.Round(time.Millisecond), res.Evaluated, limit)
+	}
+	sp.SetInt("evaluated", int64(res.Evaluated))
+	sp.SetInt("candidates", int64(limit))
+	sp.SetFloat("bound", res.Bound)
+	sp.End()
 	return res, nil
 }

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"time"
+)
+
+// CLI bundles the standard observability flags a binary exposes and the
+// begin/finish lifecycle behind them. Both specio and cmd/experiments use
+// it so the flag names and semantics stay identical:
+//
+//	-v               phase/solver telemetry log to stderr
+//	-metrics-out F   JSON metrics dump written to F on exit
+//	-cpuprofile F    runtime/pprof CPU profile
+//	-memprofile F    runtime/pprof heap profile (captured at exit)
+type CLI struct {
+	Verbose    bool
+	MetricsOut string
+	CPUProfile string
+	MemProfile string
+
+	stopCPU func() error
+	start   time.Time
+}
+
+// AddFlags registers the observability flags on fs and returns the bundle
+// to Begin/Finish around the command body.
+func AddFlags(fs *flag.FlagSet) *CLI {
+	c := &CLI{}
+	fs.BoolVar(&c.Verbose, "v", false, "log phase timings and solver telemetry to stderr")
+	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write collected metrics as JSON to this file on exit")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	return c
+}
+
+// Begin applies the parsed flags: enables the registry and/or verbose sink
+// and starts the CPU profile. Call it after flag parsing, before the work.
+func (c *CLI) Begin() error {
+	c.start = time.Now()
+	if c.Verbose {
+		SetVerbose(os.Stderr)
+	}
+	if c.Verbose || c.MetricsOut != "" {
+		Enable(true)
+	}
+	if c.CPUProfile != "" {
+		stop, err := StartCPUProfile(c.CPUProfile)
+		if err != nil {
+			return err
+		}
+		c.stopCPU = stop
+	}
+	return nil
+}
+
+// Finish stops profiling, records total wall time, and writes the metrics
+// dump. It is safe to call exactly once after the work, error or not.
+func (c *CLI) Finish() error {
+	var firstErr error
+	if c.stopCPU != nil {
+		firstErr = c.stopCPU()
+		c.stopCPU = nil
+	}
+	if c.MemProfile != "" {
+		if err := WriteHeapProfile(c.MemProfile); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	wall := time.Since(c.start)
+	if Enabled() {
+		Observe("wall", wall)
+		SetGauge("wall_seconds", wall.Seconds())
+	}
+	Logf("total wall time %v", wall.Round(time.Microsecond))
+	if c.MetricsOut != "" {
+		if err := DumpJSON(c.MetricsOut); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,344 @@
+// Package obs is the module's stdlib-only observability layer: a race-safe
+// metrics registry (counters, gauges, duration timers), a structured
+// span/event API for phase-level telemetry (span.go), and runtime/pprof
+// capture helpers (profile.go). The solver packages report
+// iterations-to-convergence, mat-vec counts, search-state expansions and
+// per-phase wall times through it; the binaries expose it behind
+// -v / -metrics-out / -cpuprofile / -memprofile flags (cli.go).
+//
+// Everything is off by default. Every package-level entry point starts with
+// a single atomic load, so instrumented hot paths cost nothing measurable
+// when no flag enabled the layer; the heavier call sites additionally batch
+// their counts locally and report once per solve.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	enabled  atomic.Bool
+	defaultR = NewRegistry()
+)
+
+// Enable turns the default registry on or off. Disabled is the zero state.
+func Enable(on bool) { enabled.Store(on) }
+
+// Enabled reports whether the default registry is collecting.
+func Enabled() bool { return enabled.Load() }
+
+// Default returns the process-wide registry the package-level helpers feed.
+func Default() *Registry { return defaultR }
+
+// Reset clears every metric in the default registry (tests, mainly).
+func Reset() { defaultR.Reset() }
+
+// Registry holds named counters, gauges and timers. All methods are safe
+// for concurrent use; counter and gauge updates are lock-free after the
+// first touch of a name.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*int64
+	gauges   map[string]*uint64 // float64 bits
+	timers   map[string]*timer
+}
+
+type timer struct {
+	mu    sync.Mutex
+	count int64
+	total time.Duration
+	min   time.Duration
+	max   time.Duration
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*int64),
+		gauges:   make(map[string]*uint64),
+		timers:   make(map[string]*timer),
+	}
+}
+
+// Reset drops every metric.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = make(map[string]*int64)
+	r.gauges = make(map[string]*uint64)
+	r.timers = make(map[string]*timer)
+}
+
+func (r *Registry) counter(name string) *int64 {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = new(int64)
+		r.counters[name] = c
+	}
+	return c
+}
+
+func (r *Registry) gauge(name string) *uint64 {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = new(uint64)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+func (r *Registry) timer(name string) *timer {
+	r.mu.RLock()
+	t := r.timers[name]
+	r.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t = r.timers[name]; t == nil {
+		t = &timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Add increments counter name by delta (creating it at zero first).
+func (r *Registry) Add(name string, delta int64) { atomic.AddInt64(r.counter(name), delta) }
+
+// Inc increments counter name by one.
+func (r *Registry) Inc(name string) { r.Add(name, 1) }
+
+// Counter returns the current value of counter name (0 if never touched).
+func (r *Registry) Counter(name string) int64 {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadInt64(c)
+}
+
+// SetGauge records the latest value of gauge name. Non-finite values are
+// dropped (the JSON emitter could not represent them anyway).
+func (r *Registry) SetGauge(name string, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	atomic.StoreUint64(r.gauge(name), math.Float64bits(v))
+}
+
+// Gauge returns the current value of gauge name (0 if never set).
+func (r *Registry) Gauge(name string) float64 {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(atomic.LoadUint64(g))
+}
+
+// Observe folds one duration into timer name (count/total/min/max).
+func (r *Registry) Observe(name string, d time.Duration) {
+	t := r.timer(name)
+	t.mu.Lock()
+	t.count++
+	t.total += d
+	if t.count == 1 || d < t.min {
+		t.min = d
+	}
+	if d > t.max {
+		t.max = d
+	}
+	t.mu.Unlock()
+}
+
+// TimerStat is the exported state of one timer.
+type TimerStat struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"total_ns"`
+	MinNS   int64 `json:"min_ns"`
+	MaxNS   int64 `json:"max_ns"`
+	AvgNS   int64 `json:"avg_ns"`
+}
+
+// Snapshot is a point-in-time copy of a registry, ready for serialization.
+type Snapshot struct {
+	Counters map[string]int64     `json:"counters"`
+	Gauges   map[string]float64   `json:"gauges"`
+	Timers   map[string]TimerStat `json:"timers"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]float64{},
+		Timers:   map[string]TimerStat{},
+	}
+	r.mu.RLock()
+	counters := make(map[string]*int64, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*uint64, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	timers := make(map[string]*timer, len(r.timers))
+	for k, v := range r.timers {
+		timers[k] = v
+	}
+	r.mu.RUnlock()
+	for k, v := range counters {
+		s.Counters[k] = atomic.LoadInt64(v)
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = math.Float64frombits(atomic.LoadUint64(v))
+	}
+	for k, t := range timers {
+		t.mu.Lock()
+		st := TimerStat{Count: t.count, TotalNS: t.total.Nanoseconds(), MinNS: t.min.Nanoseconds(), MaxNS: t.max.Nanoseconds()}
+		t.mu.Unlock()
+		if st.Count > 0 {
+			st.AvgNS = st.TotalNS / st.Count
+		}
+		s.Timers[k] = st
+	}
+	return s
+}
+
+// WriteJSON emits the registry as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteText emits the registry as sorted human-readable lines.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	var names []string
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "counter %-42s %d\n", k, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "gauge   %-42s %g\n", k, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Timers {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		t := s.Timers[k]
+		if _, err := fmt.Fprintf(w, "timer   %-42s count=%d total=%v avg=%v min=%v max=%v\n",
+			k, t.Count,
+			time.Duration(t.TotalNS).Round(time.Microsecond),
+			time.Duration(t.AvgNS).Round(time.Microsecond),
+			time.Duration(t.MinNS).Round(time.Microsecond),
+			time.Duration(t.MaxNS).Round(time.Microsecond)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Package-level helpers: one atomic load, then the default registry.
+
+// Add increments a default-registry counter when collection is enabled.
+func Add(name string, delta int64) {
+	if !enabled.Load() {
+		return
+	}
+	defaultR.Add(name, delta)
+}
+
+// Inc increments a default-registry counter by one when enabled.
+func Inc(name string) { Add(name, 1) }
+
+// SetGauge records a default-registry gauge when enabled.
+func SetGauge(name string, v float64) {
+	if !enabled.Load() {
+		return
+	}
+	defaultR.SetGauge(name, v)
+}
+
+// Observe folds a duration into a default-registry timer when enabled.
+func Observe(name string, d time.Duration) {
+	if !enabled.Load() {
+		return
+	}
+	defaultR.Observe(name, d)
+}
+
+// Time starts a stopwatch for timer name and returns the function that
+// stops it. When collection is disabled the returned function is a no-op.
+func Time(name string) func() {
+	if !enabled.Load() {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { defaultR.Observe(name, time.Since(start)) }
+}
+
+// WriteJSON emits the default registry as JSON.
+func WriteJSON(w io.Writer) error { return defaultR.WriteJSON(w) }
+
+// WriteText emits the default registry as text.
+func WriteText(w io.Writer) error { return defaultR.WriteText(w) }
+
+// DumpJSON writes the default registry's snapshot to path.
+func DumpJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := defaultR.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

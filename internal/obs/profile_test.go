@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"os"
+	"testing"
+)
+
+func readFile(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func TestCPUProfileRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/cpu.pprof"
+	stop, err := StartCPUProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has at least a header worth of data.
+	x := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		x += float64(i % 7)
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Error("CPU profile is empty")
+	}
+}
+
+func TestCPUProfileBadPath(t *testing.T) {
+	if _, err := StartCPUProfile(t.TempDir() + "/no/such/dir/cpu.pprof"); err == nil {
+		t.Error("expected an error for an unwritable profile path")
+	}
+}
+
+func TestHeapProfileRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/heap.pprof"
+	if err := WriteHeapProfile(path); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Error("heap profile is empty")
+	}
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The verbose sink receives one line per ended span and per Logf event.
+// It is independent of the metrics registry: -v enables both, but a caller
+// may enable either alone.
+var (
+	verboseOn atomic.Bool
+	verboseMu sync.Mutex
+	verboseW  io.Writer
+)
+
+// SetVerbose directs span/event lines to w; nil silences them.
+func SetVerbose(w io.Writer) {
+	verboseMu.Lock()
+	verboseW = w
+	verboseMu.Unlock()
+	verboseOn.Store(w != nil)
+}
+
+// Verbose reports whether a verbose sink is installed.
+func Verbose() bool { return verboseOn.Load() }
+
+// Logf writes one event line to the verbose sink, if any.
+func Logf(format string, args ...interface{}) {
+	if !verboseOn.Load() {
+		return
+	}
+	verboseMu.Lock()
+	defer verboseMu.Unlock()
+	if verboseW == nil {
+		return
+	}
+	fmt.Fprintf(verboseW, "[obs] "+format+"\n", args...)
+}
+
+// Span is one timed phase. Spans nest by name (Child joins with "/"); a
+// nil *Span is valid and inert, which is what StartSpan returns when both
+// the registry and the verbose sink are off — call sites need no guards.
+type Span struct {
+	name  string
+	start time.Time
+	keys  []string
+	vals  []string
+}
+
+// StartSpan opens a span. On End the span's wall time lands in the timer
+// "span.<name>" and, when a verbose sink is set, one line is logged with
+// the recorded fields.
+func StartSpan(name string) *Span {
+	if !enabled.Load() && !verboseOn.Load() {
+		return nil
+	}
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child opens a nested span named "<parent>/<name>".
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return StartSpan(name)
+	}
+	return &Span{name: s.name + "/" + name, start: time.Now()}
+}
+
+// SetInt records an integer field.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.keys = append(s.keys, key)
+	s.vals = append(s.vals, strconv.FormatInt(v, 10))
+}
+
+// SetFloat records a float field.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.keys = append(s.keys, key)
+	s.vals = append(s.vals, strconv.FormatFloat(v, 'g', 6, 64))
+}
+
+// SetStr records a string field.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.keys = append(s.keys, key)
+	s.vals = append(s.vals, v)
+}
+
+// Elapsed returns the time since the span started (0 on a nil span).
+func (s *Span) Elapsed() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Since(s.start)
+}
+
+// End closes the span, records its duration, emits the verbose line, and
+// returns the duration.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	if enabled.Load() {
+		defaultR.Observe("span."+s.name, d)
+	}
+	if verboseOn.Load() {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%-36s %12v", s.name, d.Round(time.Microsecond))
+		for i, k := range s.keys {
+			b.WriteString(" ")
+			b.WriteString(k)
+			b.WriteString("=")
+			b.WriteString(s.vals[i])
+		}
+		Logf("%s", b.String())
+	}
+	return d
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"graphio/internal/graph"
+	"graphio/internal/obs"
 )
 
 // AnnealOptions tunes the local-search schedule optimizer.
@@ -70,12 +71,14 @@ func Anneal(g *graph.Graph, start []int, M int, opt AnnealOptions) ([]int, Resul
 		}
 		return false
 	}
+	proposed, accepted := 0, 0
 	for it := 0; it < iters; it++ {
 		i := rng.Intn(n - 1)
 		if isParent(cur[i], cur[i+1]) {
 			temp *= decay
 			continue // swap would violate the dependency
 		}
+		proposed++
 		cur[i], cur[i+1] = cur[i+1], cur[i]
 		res, err := Simulate(g, cur, M, opt.Policy)
 		if err != nil {
@@ -83,6 +86,7 @@ func Anneal(g *graph.Graph, start []int, M int, opt AnnealOptions) ([]int, Resul
 		}
 		delta := float64(res.Total() - curRes.Total())
 		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			accepted++
 			curRes = res
 			if res.Total() < bestRes.Total() {
 				bestRes = res
@@ -92,6 +96,10 @@ func Anneal(g *graph.Graph, start []int, M int, opt AnnealOptions) ([]int, Resul
 			cur[i], cur[i+1] = cur[i+1], cur[i] // reject: undo
 		}
 		temp *= decay
+	}
+	if obs.Enabled() {
+		obs.Add("pebble.anneal.proposed", int64(proposed))
+		obs.Add("pebble.anneal.accepted", int64(accepted))
 	}
 	return best, bestRes, nil
 }

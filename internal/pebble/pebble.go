@@ -20,6 +20,7 @@ import (
 	"math/rand"
 
 	"graphio/internal/graph"
+	"graphio/internal/obs"
 )
 
 // Policy selects the eviction policy.
@@ -120,6 +121,11 @@ func Simulate(g *graph.Graph, order []int, M int, policy Policy) (Result, error)
 		if err := s.evaluate(v); err != nil {
 			return Result{}, err
 		}
+	}
+	if obs.Enabled() {
+		obs.Inc("pebble.simulations")
+		obs.Add("pebble.reads", int64(s.res.Reads))
+		obs.Add("pebble.writes", int64(s.res.Writes))
 	}
 	return s.res, nil
 }
@@ -268,6 +274,10 @@ func SimulateNatural(g *graph.Graph, M int, policy Policy) (Result, error) {
 // simulated under the given policy. It returns the best result, the order
 // achieving it, and a short label describing which heuristic won.
 func BestOrder(g *graph.Graph, M int, policy Policy, samples int, seed int64) (Result, []int, string, error) {
+	sp := obs.StartSpan("pebble.best_order")
+	sp.SetInt("n", int64(g.N()))
+	sp.SetInt("M", int64(M))
+	sp.SetStr("policy", policy.String())
 	type candidate struct {
 		name  string
 		order []int
@@ -301,8 +311,13 @@ func BestOrder(g *graph.Graph, M int, policy Policy, samples int, seed int64) (R
 		}
 	}
 	if bestOrder == nil {
+		sp.End()
 		return Result{}, nil, "", fmt.Errorf("pebble: no feasible order: %w", firstErr)
 	}
+	sp.SetInt("candidates", int64(len(cands)))
+	sp.SetStr("winner", bestName)
+	sp.SetInt("io", int64(best.Total()))
+	sp.End()
 	return best, bestOrder, bestName, nil
 }
 

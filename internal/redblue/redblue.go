@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"graphio/internal/graph"
+	"graphio/internal/obs"
 )
 
 // Result reports the exact optimum.
@@ -143,6 +144,20 @@ func Optimal(g *graph.Graph, M int, opt Options) (*Result, error) {
 	dist[start] = 0
 	q := &pq{}
 	heap.Push(q, &item{st: start, cost: 0})
+
+	// State-space telemetry for the exact search, reported however the
+	// search ends (optimum found, state cap exceeded, or exhausted).
+	sp := obs.StartSpan("redblue.search")
+	sp.SetInt("n", int64(n))
+	sp.SetInt("M", int64(M))
+	defer func() {
+		if obs.Enabled() {
+			obs.Add("redblue.states", int64(len(dist)))
+			obs.Inc("redblue.searches")
+		}
+		sp.SetInt("states", int64(len(dist)))
+		sp.End()
+	}()
 
 	for q.Len() > 0 {
 		cur := heap.Pop(q).(*item)

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -124,6 +125,72 @@ func TestWriteDOTWithLabels(t *testing.T) {
 			t.Errorf("DOT missing %q:\n%s", frag, out)
 		}
 	}
+}
+
+func TestWriteDOTVertexShapes(t *testing.T) {
+	// Every input vertex must render as a box, every operation vertex as an
+	// ellipse, and every recorded dependency as an edge line — the DOT
+	// output is the debugging view of a trace, so its shape conventions are
+	// part of the contract.
+	tr := New()
+	x := tr.Inputs("x", 2)
+	y := tr.Inputs("y", 2)
+	p0 := x[0].Mul(y[0])
+	p1 := x[1].Mul(y[1])
+	sum := p0.Add(p1)
+	var buf bytes.Buffer
+	if err := tr.WriteDOT(&buf, "shapes"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, in := range append(x, y...) {
+		want := fmt.Sprintf("  %d [label=%q shape=box];", in.ID(), in.Label())
+		if !strings.Contains(out, want) {
+			t.Errorf("input vertex line missing: %q\n%s", want, out)
+		}
+	}
+	for _, op := range []Value{p0, p1, sum} {
+		want := fmt.Sprintf("  %d [label=%q shape=ellipse];", op.ID(), op.Label())
+		if !strings.Contains(out, want) {
+			t.Errorf("operation vertex line missing: %q\n%s", want, out)
+		}
+	}
+	for _, e := range [][2]int{
+		{x[0].ID(), p0.ID()}, {y[0].ID(), p0.ID()},
+		{x[1].ID(), p1.ID()}, {y[1].ID(), p1.ID()},
+		{p0.ID(), sum.ID()}, {p1.ID(), sum.ID()},
+	} {
+		want := fmt.Sprintf("  %d -> %d;", e[0], e[1])
+		if !strings.Contains(out, want) {
+			t.Errorf("edge line missing: %q\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "shape=box"); n != 4 {
+		t.Errorf("shape=box appears %d times, want 4 (one per input)", n)
+	}
+	if n := strings.Count(out, "shape=ellipse"); n != 3 {
+		t.Errorf("shape=ellipse appears %d times, want 3 (one per operation)", n)
+	}
+	if n := strings.Count(out, "->"); n != 6 {
+		t.Errorf("%d edge lines, want 6", n)
+	}
+}
+
+func TestOpCrossTracerPanics(t *testing.T) {
+	// Tracer.Op itself (not just the Value arithmetic sugar) must reject an
+	// operand minted by a different Tracer before recording anything.
+	t1, t2 := New(), New()
+	a := t1.Input("a")
+	foreign := t2.Input("b")
+	defer func() {
+		if recover() == nil {
+			t.Error("Tracer.Op with a foreign operand should panic")
+		}
+		if t1.NumOps() != 1 {
+			t.Errorf("panic should happen before the vertex is recorded; NumOps=%d want 1", t1.NumOps())
+		}
+	}()
+	t1.Op("mix", a, foreign)
 }
 
 func TestReducePanicsOnEmpty(t *testing.T) {

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (no deps).
 
-.PHONY: build test test-race vet bench bench-json cover experiments experiments-quick examples fmt
+.PHONY: build test test-race vet bench bench-json bench-check cover experiments experiments-quick examples fmt
 
 build:
 	go build ./...
@@ -25,6 +25,13 @@ bench:
 # name -> {ns_per_op, allocs_per_op, ...} for regression tracking across PRs.
 bench-json:
 	go test -bench=. -benchmem -benchtime=3x . | go run ./cmd/benchjson -o BENCH_PR1.json
+
+# CI regression gate: run the benchmarks fresh and diff the timings against
+# the committed BENCH_PR1.json baseline. Exits non-zero if any ns_per_op
+# regressed by more than 20% (see cmd/obsreport -fail-over).
+bench-check:
+	go test -bench=. -benchmem -benchtime=3x . | go run ./cmd/benchjson -o /tmp/bench-current.json
+	go run ./cmd/obsreport -fail-over 20 BENCH_PR1.json /tmp/bench-current.json
 
 experiments:
 	go run ./cmd/experiments -profile default -out results

@@ -1,0 +1,433 @@
+// Command obsreport turns graphio telemetry files into run reports and
+// regression verdicts. It reads any of the three JSON shapes the toolchain
+// emits, auto-detected by content:
+//
+//   - metrics snapshots written by -metrics-out (counters/gauges/timers/hists)
+//   - Chrome trace-event files written by -trace-out
+//   - benchmark maps written by cmd/benchjson (BENCH_*.json)
+//
+// One file renders a report: the span phase tree with total/self wall time,
+// the top counters, gauges, and histogram quantiles. Two files render
+// per-metric deltas instead; with -fail-over PCT the exit code becomes 1
+// when any time-like metric (timer averages, histogram p50s, trace phase
+// totals, benchmark ns/op) regressed by more than PCT percent — the CI gate
+// behind `make bench-check`.
+//
+//	obsreport run.json
+//	obsreport run.trace.json
+//	obsreport old.json new.json
+//	obsreport -fail-over 20 BENCH_PR1.json bench_now.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"graphio/internal/obs"
+)
+
+func main() {
+	failOver := flag.Float64("fail-over", 0, "two-file mode: exit 1 when a time-like metric regresses by more than this percent (0 = report only)")
+	top := flag.Int("top", 10, "how many counters to show in one-file reports")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: obsreport [-fail-over PCT] [-top N] FILE [FILE2]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	var err error
+	switch len(args) {
+	case 1:
+		var in *input
+		if in, err = load(args[0]); err == nil {
+			err = report(os.Stdout, in, *top)
+		}
+	case 2:
+		var a, b *input
+		if a, err = load(args[0]); err == nil {
+			if b, err = load(args[1]); err == nil {
+				var regressed int
+				regressed, err = compare(os.Stdout, a, b, *failOver)
+				if err == nil && *failOver > 0 && regressed > 0 {
+					fmt.Printf("FAIL: %d metric(s) regressed more than %.0f%%\n", regressed, *failOver)
+					os.Exit(1)
+				}
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obsreport: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// spanAgg is one span name's aggregate across a run.
+type spanAgg struct {
+	count   int64
+	totalNS int64
+}
+
+// input is one loaded telemetry file, normalized across the three formats.
+type input struct {
+	path  string
+	kind  string             // "metrics", "trace", "bench"
+	snap  *obs.Snapshot      // kind == "metrics"
+	spans map[string]spanAgg // phase tree input ("a/b/c" paths)
+	// values maps flattened metric keys to comparable numbers; timeLike
+	// marks the keys where an increase means a slowdown.
+	values   map[string]float64
+	timeLike map[string]bool
+}
+
+// benchResult mirrors cmd/benchjson's output entry.
+type benchResult struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+// chromeEvent is the subset of a trace-event entry obsreport consumes.
+// ts/dur are microseconds per the Chrome trace-event spec.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Dur  float64 `json:"dur"`
+}
+
+// load reads path and detects its format by shape.
+func load(path string) (*input, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(b, &probe); err != nil {
+		return nil, fmt.Errorf("%s: not a JSON object: %w", path, err)
+	}
+	in := &input{path: path, spans: map[string]spanAgg{}, values: map[string]float64{}, timeLike: map[string]bool{}}
+	if raw, ok := probe["traceEvents"]; ok {
+		return in.fromTrace(raw)
+	}
+	if _, ok := probe["counters"]; ok {
+		return in.fromSnapshot(b)
+	}
+	return in.fromBench(b)
+}
+
+func (in *input) fromTrace(raw json.RawMessage) (*input, error) {
+	in.kind = "trace"
+	var events []chromeEvent
+	if err := json.Unmarshal(raw, &events); err != nil {
+		return nil, fmt.Errorf("%s: bad traceEvents: %w", in.path, err)
+	}
+	for _, e := range events {
+		if e.Ph != "X" || e.Name == "" {
+			continue
+		}
+		agg := in.spans[e.Name]
+		agg.count++
+		agg.totalNS += int64(e.Dur * 1000)
+		in.spans[e.Name] = agg
+	}
+	for name, agg := range in.spans {
+		in.values["trace:"+name+".total_ns"] = float64(agg.totalNS)
+		in.timeLike["trace:"+name+".total_ns"] = true
+	}
+	return in, nil
+}
+
+func (in *input) fromSnapshot(b []byte) (*input, error) {
+	in.kind = "metrics"
+	var s obs.Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("%s: bad metrics snapshot: %w", in.path, err)
+	}
+	in.snap = &s
+	for name, t := range s.Timers {
+		if short, ok := strings.CutPrefix(name, "span."); ok {
+			in.spans[short] = spanAgg{count: t.Count, totalNS: t.TotalNS}
+		}
+		in.values["timer:"+name+".avg_ns"] = float64(t.AvgNS)
+		in.timeLike["timer:"+name+".avg_ns"] = true
+	}
+	for name, h := range s.Hists {
+		in.values["hist:"+name+".p50"] = h.P50
+		in.timeLike["hist:"+name+".p50"] = strings.HasSuffix(name, "_ns")
+	}
+	for name, v := range s.Counters {
+		in.values["counter:"+name] = float64(v)
+	}
+	for name, v := range s.Gauges {
+		in.values["gauge:"+name] = v
+		if name == "wall_seconds" {
+			in.timeLike["gauge:"+name] = true
+		}
+	}
+	return in, nil
+}
+
+func (in *input) fromBench(b []byte) (*input, error) {
+	in.kind = "bench"
+	var m map[string]benchResult
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("%s: bad bench JSON: %w", in.path, err)
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks found", in.path)
+	}
+	for name, r := range m {
+		if r.NsPerOp <= 0 {
+			return nil, fmt.Errorf("%s: %s has no ns/op — not a benchjson file?", in.path, name)
+		}
+		in.values["bench:"+name+".ns_per_op"] = r.NsPerOp
+		in.timeLike["bench:"+name+".ns_per_op"] = true
+		if r.AllocsPerOp != nil {
+			in.values["bench:"+name+".allocs_per_op"] = *r.AllocsPerOp
+		}
+	}
+	return in, nil
+}
+
+// ----- one-file report -----
+
+// node is one level of the span phase tree.
+type node struct {
+	name     string
+	agg      spanAgg
+	children map[string]*node
+}
+
+func buildTree(spans map[string]spanAgg) *node {
+	root := &node{children: map[string]*node{}}
+	for path, agg := range spans {
+		cur := root
+		for _, seg := range strings.Split(path, "/") {
+			next := cur.children[seg]
+			if next == nil {
+				next = &node{name: seg, children: map[string]*node{}}
+				cur.children[seg] = next
+			}
+			cur = next
+		}
+		cur.agg = agg
+	}
+	return root
+}
+
+func (n *node) childrenByTotal() []*node {
+	kids := make([]*node, 0, len(n.children))
+	for _, c := range n.children {
+		kids = append(kids, c)
+	}
+	sort.Slice(kids, func(i, j int) bool {
+		if kids[i].agg.totalNS != kids[j].agg.totalNS {
+			return kids[i].agg.totalNS > kids[j].agg.totalNS
+		}
+		return kids[i].name < kids[j].name
+	})
+	return kids
+}
+
+// selfNS is the node's total minus its children's totals, clamped at zero
+// (clock skew between parent and child stop watches can go slightly
+// negative).
+func (n *node) selfNS() int64 {
+	self := n.agg.totalNS
+	for _, c := range n.children {
+		self -= c.agg.totalNS
+	}
+	if self < 0 {
+		self = 0
+	}
+	return self
+}
+
+func renderTree(w *strings.Builder, n *node, depth int) {
+	for _, c := range n.childrenByTotal() {
+		fmt.Fprintf(w, "  %-*s%-*s total %-11s self %-11s ×%d\n",
+			2*depth, "", 44-2*depth, c.name,
+			fmtDur(c.agg.totalNS), fmtDur(c.selfNS()), c.agg.count)
+		renderTree(w, c, depth+1)
+	}
+}
+
+func fmtDur(ns int64) string {
+	d := time.Duration(ns)
+	if -time.Microsecond < d && d < time.Microsecond {
+		return d.String() // sub-µs latencies must not round to "0s"
+	}
+	return d.Round(time.Microsecond).String()
+}
+
+func report(w io.Writer, in *input, top int) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)\n", in.path, in.kind)
+	if len(in.spans) > 0 {
+		fmt.Fprintf(&b, "\nphase tree (wall time)\n")
+		renderTree(&b, buildTree(in.spans), 0)
+	}
+	if in.snap != nil {
+		writeCounters(&b, in.snap, top)
+		writeGauges(&b, in.snap)
+		writeHists(&b, in.snap)
+	}
+	if in.kind == "bench" {
+		writeBench(&b, in)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeCounters(b *strings.Builder, s *obs.Snapshot, top int) {
+	if len(s.Counters) == 0 {
+		return
+	}
+	type kv struct {
+		k string
+		v int64
+	}
+	all := make([]kv, 0, len(s.Counters))
+	for k, v := range s.Counters {
+		all = append(all, kv{k, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].k < all[j].k
+	})
+	if top > 0 && len(all) > top {
+		all = all[:top]
+	}
+	fmt.Fprintf(b, "\ncounters (top %d by value)\n", len(all))
+	for _, e := range all {
+		fmt.Fprintf(b, "  %-44s %d\n", e.k, e.v)
+	}
+}
+
+func writeGauges(b *strings.Builder, s *obs.Snapshot) {
+	if len(s.Gauges) == 0 {
+		return
+	}
+	names := sortedKeys(s.Gauges)
+	fmt.Fprintf(b, "\ngauges\n")
+	for _, k := range names {
+		fmt.Fprintf(b, "  %-44s %g\n", k, s.Gauges[k])
+	}
+}
+
+func writeHists(b *strings.Builder, s *obs.Snapshot) {
+	if len(s.Hists) == 0 {
+		return
+	}
+	names := sortedKeys(s.Hists)
+	fmt.Fprintf(b, "\nhistograms\n")
+	fmt.Fprintf(b, "  %-44s %9s %11s %11s %11s %11s %11s\n", "name", "count", "mean", "p50", "p90", "p99", "max")
+	for _, k := range names {
+		h := s.Hists[k]
+		if strings.HasSuffix(k, "_ns") {
+			fmt.Fprintf(b, "  %-44s %9d %11s %11s %11s %11s %11s\n", k, h.Count,
+				fmtDur(int64(h.Mean)), fmtDur(int64(h.P50)), fmtDur(int64(h.P90)), fmtDur(int64(h.P99)), fmtDur(h.Max))
+		} else {
+			fmt.Fprintf(b, "  %-44s %9d %11.1f %11.1f %11.1f %11.1f %11d\n", k, h.Count,
+				h.Mean, h.P50, h.P90, h.P99, h.Max)
+		}
+	}
+}
+
+func writeBench(b *strings.Builder, in *input) {
+	names := sortedKeys(in.values)
+	fmt.Fprintf(b, "\nbenchmarks\n")
+	for _, k := range names {
+		if !strings.HasSuffix(k, ".ns_per_op") {
+			continue
+		}
+		name := strings.TrimSuffix(strings.TrimPrefix(k, "bench:"), ".ns_per_op")
+		fmt.Fprintf(b, "  %-44s %s/op\n", name, fmtDur(int64(in.values[k])))
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ----- two-file comparison -----
+
+// compare prints per-metric deltas for keys present in both inputs and
+// returns how many time-like metrics regressed past failOver percent.
+func compare(w io.Writer, a, b *input, failOver float64) (int, error) {
+	common := make([]string, 0, len(a.values))
+	for k := range a.values {
+		if _, ok := b.values[k]; ok {
+			common = append(common, k)
+		}
+	}
+	sort.Strings(common)
+	if len(common) == 0 {
+		return 0, fmt.Errorf("no common metrics between %s and %s", a.path, b.path)
+	}
+	var out strings.Builder
+	fmt.Fprintf(&out, "%s → %s (%d common metrics)\n", a.path, b.path, len(common))
+	fmt.Fprintf(&out, "%-58s %14s %14s %9s\n", "metric", "old", "new", "delta")
+	regressed := 0
+	for _, k := range common {
+		ov, nv := a.values[k], b.values[k]
+		delta, has := deltaPct(ov, nv)
+		mark := ""
+		if has && failOver > 0 && delta > failOver && a.timeLike[k] && b.timeLike[k] {
+			regressed++
+			mark = "  !"
+		}
+		ds := "n/a"
+		if has {
+			ds = fmt.Sprintf("%+.1f%%", delta)
+		}
+		fmt.Fprintf(&out, "%-58s %14s %14s %9s%s\n", k, fmtValue(k, ov), fmtValue(k, nv), ds, mark)
+	}
+	onlyA, onlyB := 0, 0
+	for k := range a.values {
+		if _, ok := b.values[k]; !ok {
+			onlyA++
+		}
+	}
+	for k := range b.values {
+		if _, ok := a.values[k]; !ok {
+			onlyB++
+		}
+	}
+	if onlyA+onlyB > 0 {
+		fmt.Fprintf(&out, "(%d metrics only in %s, %d only in %s)\n", onlyA, a.path, onlyB, b.path)
+	}
+	_, err := io.WriteString(w, out.String())
+	return regressed, err
+}
+
+func deltaPct(old, new float64) (float64, bool) {
+	if old == 0 {
+		return 0, new == 0
+	}
+	return (new - old) / old * 100, true
+}
+
+// fmtValue renders nanosecond-unit metrics as durations and everything
+// else as plain numbers.
+func fmtValue(key string, v float64) string {
+	if strings.HasSuffix(key, "_ns") || strings.HasSuffix(key, ".ns_per_op") || strings.Contains(key, "_ns.") {
+		return fmtDur(int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

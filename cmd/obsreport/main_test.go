@@ -1,0 +1,183 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const metricsJSON = `{
+  "counters": {"linalg.matvecs": 1200, "mincut.flows": 40},
+  "gauges": {"wall_seconds": 2.5},
+  "timers": {
+    "span.core.spectral_bound": {"count": 5, "total_ns": 1000000, "min_ns": 100000, "max_ns": 400000, "avg_ns": 200000},
+    "span.core.spectral_bound/eigensolve": {"count": 5, "total_ns": 800000, "min_ns": 80000, "max_ns": 300000, "avg_ns": 160000}
+  },
+  "hists": {
+    "core.boundk_ns": {"count": 500, "sum": 100000, "min": 50, "max": 900, "mean": 200, "p50": 180, "p90": 600, "p99": 880}
+  }
+}`
+
+const traceJSON = `{"traceEvents":[
+{"name":"core.spectral_bound","cat":"obs","ph":"X","ts":0.000,"dur":1000.000,"pid":1,"tid":1,"args":{}},
+{"name":"core.spectral_bound/eigensolve","cat":"obs","ph":"X","ts":10.000,"dur":800.000,"pid":1,"tid":1,"args":{}}
+],"displayTimeUnit":"ns"}`
+
+const benchOldJSON = `{"BenchmarkBound": {"iterations": 3, "ns_per_op": 1000000, "allocs_per_op": 10},
+"BenchmarkSweep": {"iterations": 3, "ns_per_op": 500000}}`
+
+const benchNewRegressedJSON = `{"BenchmarkBound": {"iterations": 3, "ns_per_op": 1500000, "allocs_per_op": 10},
+"BenchmarkSweep": {"iterations": 3, "ns_per_op": 510000}}`
+
+func TestLoadDetectsFormats(t *testing.T) {
+	cases := []struct {
+		content string
+		kind    string
+	}{
+		{metricsJSON, "metrics"},
+		{traceJSON, "trace"},
+		{benchOldJSON, "bench"},
+	}
+	for _, c := range cases {
+		in, err := load(write(t, "in.json", c.content))
+		if err != nil {
+			t.Fatalf("load(%s): %v", c.kind, err)
+		}
+		if in.kind != c.kind {
+			t.Errorf("kind = %q, want %q", in.kind, c.kind)
+		}
+	}
+	if _, err := load(write(t, "bad.json", `{"what": "ever"}`)); err == nil {
+		t.Error("expected an error for an unrecognized JSON object")
+	}
+}
+
+func TestMetricsInputBuildsSpansAndValues(t *testing.T) {
+	in, err := load(write(t, "m.json", metricsJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg := in.spans["core.spectral_bound"]; agg.count != 5 || agg.totalNS != 1000000 {
+		t.Errorf("span agg = %+v", agg)
+	}
+	if v := in.values["hist:core.boundk_ns.p50"]; v != 180 {
+		t.Errorf("hist p50 value = %g", v)
+	}
+	if !in.timeLike["hist:core.boundk_ns.p50"] || !in.timeLike["timer:span.core.spectral_bound.avg_ns"] {
+		t.Error("time-like flags missing")
+	}
+	if in.timeLike["counter:linalg.matvecs"] {
+		t.Error("counters must not be time-like")
+	}
+}
+
+func TestTraceInputAggregatesEvents(t *testing.T) {
+	in, err := load(write(t, "t.json", traceJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg := in.spans["core.spectral_bound"]; agg.count != 1 || agg.totalNS != 1000000 {
+		t.Errorf("trace span agg = %+v", agg)
+	}
+}
+
+func TestBuildTreeSelfTime(t *testing.T) {
+	root := buildTree(map[string]spanAgg{
+		"a":   {count: 1, totalNS: 100},
+		"a/b": {count: 2, totalNS: 60},
+		"a/c": {count: 1, totalNS: 30},
+	})
+	a := root.children["a"]
+	if a == nil {
+		t.Fatal("node a missing")
+	}
+	if self := a.selfNS(); self != 10 {
+		t.Errorf("a self = %d, want 10", self)
+	}
+	if b := a.children["b"]; b == nil || b.selfNS() != 60 {
+		t.Errorf("leaf self wrong: %+v", b)
+	}
+	kids := a.childrenByTotal()
+	if len(kids) != 2 || kids[0].name != "b" {
+		t.Errorf("children not sorted by total: %+v", kids)
+	}
+}
+
+func TestReportRendersAllSections(t *testing.T) {
+	in, err := load(write(t, "m.json", metricsJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := report(&b, in, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"phase tree", "core.spectral_bound", "eigensolve",
+		"counters", "linalg.matvecs", "gauges", "wall_seconds",
+		"histograms", "core.boundk_ns",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareCountsRegressions(t *testing.T) {
+	old, err := load(write(t, "old.json", benchOldJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := load(write(t, "new.json", benchNewRegressedJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	// BenchmarkBound regressed +50%, BenchmarkSweep +2%: one offender at
+	// a 20% gate, none at a 100% gate.
+	regressed, err := compare(&b, old, cur, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed != 1 {
+		t.Errorf("regressed = %d, want 1\n%s", regressed, b.String())
+	}
+	if !strings.Contains(b.String(), "!") {
+		t.Errorf("regression not marked:\n%s", b.String())
+	}
+	b.Reset()
+	if regressed, err = compare(&b, old, cur, 100); err != nil || regressed != 0 {
+		t.Errorf("regressed at 100%% = %d (err %v), want 0", regressed, err)
+	}
+	// Improvements never count as regressions.
+	b.Reset()
+	if regressed, err = compare(&b, cur, old, 20); err != nil || regressed != 0 {
+		t.Errorf("improvement counted as regression: %d (err %v)", regressed, err)
+	}
+}
+
+func TestCompareDisjointInputsErrors(t *testing.T) {
+	a, err := load(write(t, "a.json", `{"BenchmarkA": {"iterations": 1, "ns_per_op": 5}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := load(write(t, "b.json", `{"BenchmarkB": {"iterations": 1, "ns_per_op": 5}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if _, err := compare(&out, a, b, 0); err == nil {
+		t.Error("expected an error for inputs with no common metrics")
+	}
+}

@@ -280,7 +280,7 @@ func BoundFromEigenvalues(lambda []float64, n, M, p int, divisor float64) (bound
 	}
 	perK = make([]float64, len(lambda))
 	sum := 0.0
-	// Per-k evaluation timings feed the "core.boundk" timer when the
+	// Per-k evaluation timings feed the "core.boundk_ns" histogram when the
 	// observability layer is on; each evaluation is a handful of flops, so
 	// the clock reads are gated rather than unconditional.
 	timed := obs.Enabled()
@@ -297,7 +297,7 @@ func BoundFromEigenvalues(lambda []float64, n, M, p int, divisor float64) (bound
 		seg := n / (k * p) // ⌊n/(kp)⌋
 		perK[i] = float64(seg)*sum/divisor - 2*float64(k)*float64(M)
 		if timed {
-			obs.Observe("core.boundk", time.Since(t0))
+			obs.ObserveHistDuration("core.boundk_ns", time.Since(t0))
 		}
 	}
 	raw := rawMax(perK)

@@ -116,6 +116,10 @@ func RunAll(cfg Config, outDir string, names []string, log io.Writer) ([]*Table,
 // heartbeat emits a still-running line to w every interval until the
 // returned stop function is called. Long sweeps (minutes per experiment)
 // would otherwise look hung between the "== running" banner and the table.
+// When span tracking is live (-trace-out or -debug-addr), the line names
+// the innermost open span, so the operator sees *which* solve is slow, not
+// just that something is; -debug-addr's /progress endpoint serves the full
+// open-span stack on demand.
 func heartbeat(w io.Writer, name string, start time.Time) (stop func()) {
 	if w == nil {
 		return func() {}
@@ -132,8 +136,14 @@ func heartbeat(w io.Writer, name string, start time.Time) (stop func()) {
 			case <-done:
 				return
 			case <-t.C:
-				fmt.Fprintf(w, "experiments: %s still running (%v elapsed)\n",
-					name, time.Since(start).Round(time.Second))
+				where := ""
+				if open := obs.OpenSpans(); len(open) > 0 {
+					deepest := open[len(open)-1]
+					where = fmt.Sprintf(", in %s for %v", deepest.Name,
+						time.Duration(deepest.ElapsedNS).Round(time.Second))
+				}
+				fmt.Fprintf(w, "experiments: %s still running (%v elapsed%s)\n",
+					name, time.Since(start).Round(time.Second), where)
 			}
 		}
 	}()

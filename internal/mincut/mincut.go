@@ -240,7 +240,9 @@ func ConvexMinCutBound(g *graph.Graph, opt Options) (*Result, error) {
 					// nothing after this one can improve the maximum.
 					return
 				}
+				flowDone := obs.TimeHist("mincut.flow_ns")
 				cut, err := ConvexCut(g, c.v)
+				flowDone()
 				mu.Lock()
 				if err != nil && firstErr == nil {
 					firstErr = err

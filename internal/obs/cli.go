@@ -1,8 +1,14 @@
 package obs
 
 import (
+	"context"
 	"flag"
+	"fmt"
 	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -12,16 +18,30 @@ import (
 //
 //	-v               phase/solver telemetry log to stderr
 //	-metrics-out F   JSON metrics dump written to F on exit
+//	-trace-out F     Chrome trace-event JSON of completed spans (Perfetto)
+//	-debug-addr A    HTTP debug server: /debug/pprof/, /metrics, /progress
 //	-cpuprofile F    runtime/pprof CPU profile
 //	-memprofile F    runtime/pprof heap profile (captured at exit)
+//
+// Begin also installs a SIGINT/SIGTERM handler that flushes everything
+// above before exiting non-zero, so interrupting a long sweep keeps its
+// telemetry instead of losing the whole run.
 type CLI struct {
 	Verbose    bool
 	MetricsOut string
+	TraceOut   string
+	DebugAddr  string
 	CPUProfile string
 	MemProfile string
 
-	stopCPU func() error
-	start   time.Time
+	stopCPU    func() error
+	stopHTTP   func() error
+	sigStop    context.CancelFunc
+	ctx        context.Context
+	start      time.Time
+	finishing  atomic.Bool
+	finishOnce sync.Once
+	finishErr  error
 }
 
 // AddFlags registers the observability flags on fs and returns the bundle
@@ -30,20 +50,35 @@ func AddFlags(fs *flag.FlagSet) *CLI {
 	c := &CLI{}
 	fs.BoolVar(&c.Verbose, "v", false, "log phase timings and solver telemetry to stderr")
 	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write collected metrics as JSON to this file on exit")
+	fs.StringVar(&c.TraceOut, "trace-out", "", "write completed spans as Chrome trace-event JSON to this file on exit (open in Perfetto)")
+	fs.StringVar(&c.DebugAddr, "debug-addr", "", "serve /debug/pprof/, /metrics and /progress on this host:port while running")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
 	return c
 }
 
-// Begin applies the parsed flags: enables the registry and/or verbose sink
-// and starts the CPU profile. Call it after flag parsing, before the work.
+// Begin applies the parsed flags: enables the registry, verbose sink,
+// trace collector and/or debug server, starts the CPU profile, and
+// installs the interrupt handler. Call it after flag parsing, before the
+// work.
 func (c *CLI) Begin() error {
 	c.start = time.Now()
 	if c.Verbose {
 		SetVerbose(os.Stderr)
 	}
-	if c.Verbose || c.MetricsOut != "" {
+	if c.Verbose || c.MetricsOut != "" || c.TraceOut != "" || c.DebugAddr != "" {
 		Enable(true)
+	}
+	if c.TraceOut != "" {
+		StartTrace()
+	}
+	if c.DebugAddr != "" {
+		stop, addr, err := StartDebugServer(c.DebugAddr)
+		if err != nil {
+			return err
+		}
+		c.stopHTTP = stop
+		fmt.Fprintf(os.Stderr, "obs: debug server listening on http://%s\n", addr)
 	}
 	if c.CPUProfile != "" {
 		stop, err := StartCPUProfile(c.CPUProfile)
@@ -52,12 +87,46 @@ func (c *CLI) Begin() error {
 		}
 		c.stopCPU = stop
 	}
+	// Interrupt handling goes in last so a signal-triggered Finish sees
+	// every sink above already installed. On SIGINT/SIGTERM the handler
+	// flushes profiles, metrics and trace, then exits 130 (interrupted).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	c.ctx, c.sigStop = ctx, stop
+	go func() {
+		<-ctx.Done()
+		if c.finishing.Load() {
+			return // normal shutdown released the handler
+		}
+		fmt.Fprintln(os.Stderr, "obs: interrupted; flushing telemetry")
+		c.Finish() //nolint:errcheck // exiting non-zero regardless
+		os.Exit(130)
+	}()
 	return nil
 }
 
-// Finish stops profiling, records total wall time, and writes the metrics
-// dump. It is safe to call exactly once after the work, error or not.
+// Context returns a context cancelled on SIGINT/SIGTERM (Background before
+// Begin). Long sweeps can poll it to stop cleanly ahead of the flush.
+func (c *CLI) Context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
+}
+
+// Finish stops profiling and the debug server, records total wall time,
+// and writes the metrics and trace dumps. It is idempotent: the interrupt
+// handler and the normal exit path may both call it, and only the first
+// call does the work (later calls return its error).
 func (c *CLI) Finish() error {
+	c.finishOnce.Do(func() { c.finishErr = c.finish() })
+	return c.finishErr
+}
+
+func (c *CLI) finish() error {
+	c.finishing.Store(true)
+	if c.sigStop != nil {
+		c.sigStop() // release the handler goroutine; after this ^C kills hard
+	}
 	var firstErr error
 	if c.stopCPU != nil {
 		firstErr = c.stopCPU()
@@ -78,6 +147,18 @@ func (c *CLI) Finish() error {
 		if err := DumpJSON(c.MetricsOut); err != nil && firstErr == nil {
 			firstErr = err
 		}
+	}
+	if c.TraceOut != "" {
+		if err := DumpTrace(c.TraceOut); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		StopTrace()
+	}
+	if c.stopHTTP != nil {
+		if err := c.stopHTTP(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		c.stopHTTP = nil
 	}
 	return firstErr
 }

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCLIFinishIdempotent(t *testing.T) {
+	Reset()
+	defer func() {
+		Enable(false)
+		Reset()
+	}()
+	dir := t.TempDir()
+	c := &CLI{MetricsOut: filepath.Join(dir, "m.json")}
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	Inc("idem.counter")
+	if err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	// A second Finish (the interrupt handler and the normal path can both
+	// reach it) must be a no-op, not a double flush or a panic.
+	if err := c.Finish(); err != nil {
+		t.Fatalf("second Finish: %v", err)
+	}
+	b, err := readFile(c.MetricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b, "idem.counter") {
+		t.Errorf("metrics dump missing counter:\n%s", b)
+	}
+}
+
+func TestCLITraceOutWritesPerfettoFile(t *testing.T) {
+	Reset()
+	ResetTrace()
+	defer func() {
+		Enable(false)
+		StopTrace()
+		ResetTrace()
+		Reset()
+	}()
+	dir := t.TempDir()
+	c := &CLI{TraceOut: filepath.Join(dir, "run.trace.json")}
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if !TraceEnabled() {
+		t.Fatal("-trace-out should enable the trace collector")
+	}
+	sp := StartSpan("cli.phase")
+	sp.Child("inner").End()
+	sp.End()
+	if err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if TraceEnabled() {
+		t.Error("Finish should stop the trace collector")
+	}
+	raw, err := os.ReadFile(c.TraceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		names[e.Name] = true
+	}
+	if !names["cli.phase"] || !names["cli.phase/inner"] {
+		t.Errorf("trace missing spans: %v", names)
+	}
+}
+
+// TestCLIInterruptFlushesTelemetry re-runs the test binary as a child that
+// starts a CLI-managed "sweep", then interrupts it and checks the metrics
+// and trace dumps were still written — the exact Ctrl-C-loses-everything
+// failure the interrupt handler exists to fix.
+func TestCLIInterruptFlushesTelemetry(t *testing.T) {
+	if os.Getenv("OBS_CLI_INTERRUPT_CHILD") == "1" {
+		cliInterruptChild()
+		return
+	}
+	dir := t.TempDir()
+	mout := filepath.Join(dir, "m.json")
+	tout := filepath.Join(dir, "t.json")
+	cmd := exec.Command(os.Args[0], "-test.run", "TestCLIInterruptFlushesTelemetry$")
+	cmd.Env = append(os.Environ(),
+		"OBS_CLI_INTERRUPT_CHILD=1", "OBS_CLI_MOUT="+mout, "OBS_CLI_TOUT="+tout)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the child to report it is mid-"sweep" before interrupting.
+	ready := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if strings.Contains(sc.Text(), "CHILD_READY") {
+				ready <- nil
+				return
+			}
+		}
+		ready <- errors.New("child exited before READY")
+	}()
+	select {
+	case err := <-ready:
+		if err != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("timed out waiting for child")
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err = cmd.Wait()
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) {
+		t.Fatalf("child exit = %v, want non-zero status", err)
+	}
+	if code := exit.ExitCode(); code != 130 {
+		t.Errorf("child exit code = %d, want 130", code)
+	}
+	metrics, err := readFile(mout)
+	if err != nil {
+		t.Fatalf("metrics not flushed on interrupt: %v", err)
+	}
+	if !strings.Contains(metrics, "child.sweep.counter") {
+		t.Errorf("flushed metrics missing counter:\n%s", metrics)
+	}
+	trace, err := readFile(tout)
+	if err != nil {
+		t.Fatalf("trace not flushed on interrupt: %v", err)
+	}
+	if !strings.Contains(trace, "child.sweep") {
+		t.Errorf("flushed trace missing span:\n%s", trace)
+	}
+}
+
+// cliInterruptChild is the body run inside the re-executed test binary.
+func cliInterruptChild() {
+	c := &CLI{MetricsOut: os.Getenv("OBS_CLI_MOUT"), TraceOut: os.Getenv("OBS_CLI_TOUT")}
+	if err := c.Begin(); err != nil {
+		fmt.Println("CHILD_BEGIN_ERROR", err)
+		os.Exit(3)
+	}
+	Inc("child.sweep.counter")
+	sp := StartSpan("child.sweep")
+	sp.End()
+	fmt.Println("CHILD_READY")
+	time.Sleep(30 * time.Second) // interrupted long before this elapses
+	os.Exit(0)                   // reached only if the signal never came
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+)
+
+// The debug server gives a running sweep live introspection without
+// restarting it under a profiler: runtime profiles at /debug/pprof/, the
+// default registry as Prometheus text at /metrics, and the currently open
+// spans as JSON at /progress. It is aimed at the multi-hour
+// cmd/experiments runs where the 15-second heartbeat says only that
+// *something* is still running.
+
+var procStart = time.Now()
+
+// StartDebugServer listens on addr ("host:port"; port 0 picks a free one)
+// and serves the debug endpoints until the returned stop function is
+// called. It also turns on open-span tracking so /progress has data, and
+// returns the bound address for logging.
+func StartDebugServer(addr string) (stop func() error, boundAddr string, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", handleMetrics)
+	mux.HandleFunc("/progress", handleProgress)
+	mux.HandleFunc("/", handleIndex)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // Close returns ErrServerClosed here by design
+	debugTrackRef(+1)
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		debugTrackRef(-1)
+		return srv.Close()
+	}, ln.Addr().String(), nil
+}
+
+func handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	io.WriteString(w, `<html><body><h1>graphio debug</h1><ul>
+<li><a href="/metrics">/metrics</a> — Prometheus text format</li>
+<li><a href="/progress">/progress</a> — open spans JSON</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — runtime profiles</li>
+</ul></body></html>
+`)
+}
+
+func handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WritePrometheus(w, Default().Snapshot())
+}
+
+// progressSnapshot is the /progress response body.
+type progressSnapshot struct {
+	UptimeSeconds  float64        `json:"uptime_seconds"`
+	MetricsEnabled bool           `json:"metrics_enabled"`
+	TraceEnabled   bool           `json:"trace_enabled"`
+	TraceBuffered  int            `json:"trace_buffered"`
+	TraceDropped   int64          `json:"trace_dropped"`
+	OpenSpans      []OpenSpanInfo `json:"open_spans"`
+}
+
+func handleProgress(w http.ResponseWriter, _ *http.Request) {
+	buffered, dropped := TraceStats()
+	snap := progressSnapshot{
+		UptimeSeconds:  time.Since(procStart).Seconds(),
+		MetricsEnabled: Enabled(),
+		TraceEnabled:   TraceEnabled(),
+		TraceBuffered:  buffered,
+		TraceDropped:   dropped,
+		OpenSpans:      OpenSpans(),
+	}
+	if snap.OpenSpans == nil {
+		snap.OpenSpans = []OpenSpanInfo{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap) //nolint:errcheck // best-effort debug endpoint
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as their native types,
+// timers and histograms as summaries (histograms with p50/p90/p99
+// quantile series). Metric names are sanitized to the Prometheus charset.
+func WritePrometheus(w io.Writer, s Snapshot) {
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := promName(k)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[k])
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := promName(k)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, s.Gauges[k])
+	}
+	names = names[:0]
+	for k := range s.Timers {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		t := s.Timers[k]
+		n := promName(k) + "_ns"
+		fmt.Fprintf(w, "# TYPE %s summary\n%s_sum %d\n%s_count %d\n", n, n, t.TotalNS, n, t.Count)
+	}
+	names = names[:0]
+	for k := range s.Hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Hists[k]
+		n := promName(k)
+		fmt.Fprintf(w, "# TYPE %s summary\n", n)
+		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %g\n", n, h.P50)
+		fmt.Fprintf(w, "%s{quantile=\"0.9\"} %g\n", n, h.P90)
+		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %g\n", n, h.P99)
+		fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", n, h.Sum, n, h.Count)
+	}
+}
+
+// promName maps a metric name onto the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

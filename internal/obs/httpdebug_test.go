@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromNameSanitizes(t *testing.T) {
+	cases := map[string]string{
+		"linalg.matvecs":     "linalg_matvecs",
+		"span.core/eigens":   "span_core_eigens",
+		"already_clean":      "already_clean",
+		"9starts.with.digit": "_9starts_with_digit",
+		"dash-and space":     "dash_and_space",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheusFormat checks each metric family renders in the text
+// exposition format: a TYPE line, then samples whose names match the
+// Prometheus charset and whose label syntax is well-formed.
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Add("linalg.matvecs", 42)
+	r.SetGauge("wall_seconds", 1.5)
+	r.Observe("span.core", 40*time.Millisecond)
+	for i := int64(1); i <= 100; i++ {
+		r.ObserveHist("core.boundk_ns", i)
+	}
+	var b strings.Builder
+	WritePrometheus(&b, r.Snapshot())
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE linalg_matvecs counter\nlinalg_matvecs 42\n",
+		"# TYPE wall_seconds gauge\nwall_seconds 1.5\n",
+		"# TYPE span_core_ns summary\nspan_core_ns_sum 40000000\nspan_core_ns_count 1\n",
+		"# TYPE core_boundk_ns summary\n",
+		"core_boundk_ns{quantile=\"0.5\"}",
+		"core_boundk_ns_sum 5050\ncore_boundk_ns_count 100\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be `name value` or `name{labels} value`.
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	Reset()
+	Enable(true)
+	defer func() {
+		Enable(false)
+		Reset()
+	}()
+	Inc("debug.test.counter")
+	ObserveHist("debug.test.lat_ns", 1500)
+
+	stop, addr, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{"debug_test_counter 1", "# TYPE debug_test_lat_ns summary"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	sp := StartSpan("live.phase")
+	code, body = get("/progress")
+	sp.End()
+	if code != http.StatusOK {
+		t.Fatalf("/progress status = %d", code)
+	}
+	var snap progressSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/progress not valid JSON: %v\n%s", err, body)
+	}
+	if !snap.MetricsEnabled {
+		t.Error("/progress reports metrics disabled")
+	}
+	found := false
+	for _, o := range snap.OpenSpans {
+		if o.Name == "live.phase" {
+			found = true
+			if o.Goroutine <= 0 {
+				t.Errorf("open span missing goroutine id: %+v", o)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("/progress missing open span live.phase: %s", body)
+	}
+
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d", code)
+	}
+	if code, _ := get("/"); code != http.StatusOK {
+		t.Errorf("/ status = %d", code)
+	}
+	if code, _ := get("/nope"); code != http.StatusNotFound {
+		t.Errorf("/nope status = %d, want 404", code)
+	}
+
+	// Stop must be idempotent and actually shut the listener down.
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("second stop: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("server still answering after stop")
+	}
+}
+
+// The /metrics handler has to work through an httptest recorder too — the
+// exact round-trip the satellite checklist names.
+func TestMetricsHandlerHTTPTest(t *testing.T) {
+	Reset()
+	Enable(true)
+	defer func() {
+		Enable(false)
+		Reset()
+	}()
+	Add("rt.counter", 7)
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	handleMetrics(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), fmt.Sprintf("rt_counter %d", 7)) {
+		t.Errorf("body missing counter:\n%s", rec.Body.String())
+	}
+}

@@ -1,10 +1,15 @@
 // Package obs is the module's stdlib-only observability layer: a race-safe
-// metrics registry (counters, gauges, duration timers), a structured
-// span/event API for phase-level telemetry (span.go), and runtime/pprof
-// capture helpers (profile.go). The solver packages report
-// iterations-to-convergence, mat-vec counts, search-state expansions and
-// per-phase wall times through it; the binaries expose it behind
-// -v / -metrics-out / -cpuprofile / -memprofile flags (cli.go).
+// metrics registry (counters, gauges, duration timers, log-bucketed
+// histograms — histogram.go), a structured span/event API for phase-level
+// telemetry (span.go), a trace collector that exports completed spans as
+// Chrome trace-event JSON for Perfetto (tracefile.go), an optional HTTP
+// debug server with pprof, Prometheus-text /metrics and a /progress
+// open-span snapshot (httpdebug.go), and runtime/pprof capture helpers
+// (profile.go). The solver packages report iterations-to-convergence,
+// mat-vec counts, search-state expansions, per-phase wall times and
+// latency distributions through it; the binaries expose it behind
+// -v / -metrics-out / -trace-out / -debug-addr / -cpuprofile /
+// -memprofile flags (cli.go).
 //
 // Everything is off by default. Every package-level entry point starts with
 // a single atomic load, so instrumented hot paths cost nothing measurable
@@ -41,14 +46,15 @@ func Default() *Registry { return defaultR }
 // Reset clears every metric in the default registry (tests, mainly).
 func Reset() { defaultR.Reset() }
 
-// Registry holds named counters, gauges and timers. All methods are safe
-// for concurrent use; counter and gauge updates are lock-free after the
-// first touch of a name.
+// Registry holds named counters, gauges, timers and histograms. All
+// methods are safe for concurrent use; counter, gauge and histogram
+// updates are lock-free after the first touch of a name.
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*int64
 	gauges   map[string]*uint64 // float64 bits
 	timers   map[string]*timer
+	hists    map[string]*hist
 }
 
 type timer struct {
@@ -65,6 +71,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*int64),
 		gauges:   make(map[string]*uint64),
 		timers:   make(map[string]*timer),
+		hists:    make(map[string]*hist),
 	}
 }
 
@@ -75,6 +82,7 @@ func (r *Registry) Reset() {
 	r.counters = make(map[string]*int64)
 	r.gauges = make(map[string]*uint64)
 	r.timers = make(map[string]*timer)
+	r.hists = make(map[string]*hist)
 }
 
 func (r *Registry) counter(name string) *int64 {
@@ -191,14 +199,18 @@ type Snapshot struct {
 	Counters map[string]int64     `json:"counters"`
 	Gauges   map[string]float64   `json:"gauges"`
 	Timers   map[string]TimerStat `json:"timers"`
+	Hists    map[string]HistStat  `json:"hists"`
 }
 
-// Snapshot copies the registry's current state.
+// Snapshot copies the registry's current state. Timers and histograms that
+// exist but were never observed are omitted: their zero values (min=0 or
+// min=MaxInt64) would read as garbage in the export.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters: map[string]int64{},
 		Gauges:   map[string]float64{},
 		Timers:   map[string]TimerStat{},
+		Hists:    map[string]HistStat{},
 	}
 	r.mu.RLock()
 	counters := make(map[string]*int64, len(r.counters))
@@ -213,6 +225,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.timers {
 		timers[k] = v
 	}
+	hists := make(map[string]*hist, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
 	r.mu.RUnlock()
 	for k, v := range counters {
 		s.Counters[k] = atomic.LoadInt64(v)
@@ -224,10 +240,18 @@ func (r *Registry) Snapshot() Snapshot {
 		t.mu.Lock()
 		st := TimerStat{Count: t.count, TotalNS: t.total.Nanoseconds(), MinNS: t.min.Nanoseconds(), MaxNS: t.max.Nanoseconds()}
 		t.mu.Unlock()
-		if st.Count > 0 {
-			st.AvgNS = st.TotalNS / st.Count
+		if st.Count == 0 {
+			continue
 		}
+		st.AvgNS = st.TotalNS / st.Count
 		s.Timers[k] = st
+	}
+	for k, h := range hists {
+		st := h.stat()
+		if st.Count == 0 {
+			continue
+		}
+		s.Hists[k] = st
 	}
 	return s
 }
@@ -279,6 +303,18 @@ func (r *Registry) WriteText(w io.Writer) error {
 			time.Duration(t.AvgNS).Round(time.Microsecond),
 			time.Duration(t.MinNS).Round(time.Microsecond),
 			time.Duration(t.MaxNS).Round(time.Microsecond)); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Hists[k]
+		if _, err := fmt.Fprintf(w, "hist    %-42s count=%d mean=%.1f p50=%.1f p90=%.1f p99=%.1f max=%d\n",
+			k, h.Count, h.Mean, h.P50, h.P90, h.P99, h.Max); err != nil {
 			return err
 		}
 	}

@@ -157,6 +157,48 @@ func TestWriteJSONShape(t *testing.T) {
 	}
 }
 
+// TestTimerMinSeededByFirstObserve pins the first-observation edge: the
+// zero value of timer.min must never leak into the stats as a fake 0ns
+// minimum — the first Observe seeds it, later ones only lower it.
+func TestTimerMinSeededByFirstObserve(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("t", 5*time.Millisecond)
+	if st := r.Snapshot().Timers["t"]; st.MinNS != int64(5*time.Millisecond) {
+		t.Fatalf("first observe min = %dns, want 5ms (zero-value min leaked)", st.MinNS)
+	}
+	r.Observe("t", 10*time.Millisecond) // larger: min must not move
+	if st := r.Snapshot().Timers["t"]; st.MinNS != int64(5*time.Millisecond) {
+		t.Errorf("min after larger observe = %dns, want 5ms", st.MinNS)
+	}
+	r.Observe("t", 2*time.Millisecond) // smaller: min must follow
+	if st := r.Snapshot().Timers["t"]; st.MinNS != int64(2*time.Millisecond) {
+		t.Errorf("min after smaller observe = %dns, want 2ms", st.MinNS)
+	}
+}
+
+// TestSnapshotOmitsNeverObservedTimer: a timer that exists but was never
+// observed must be omitted from exports instead of emitting garbage
+// (count=0 with min=max=avg=0 reads like a real measurement).
+func TestSnapshotOmitsNeverObservedTimer(t *testing.T) {
+	r := NewRegistry()
+	r.timer("ghost") // registered, never observed
+	r.Observe("real", time.Millisecond)
+	s := r.Snapshot()
+	if _, ok := s.Timers["ghost"]; ok {
+		t.Error("never-observed timer leaked into the snapshot")
+	}
+	if s.Timers["real"].Count != 1 {
+		t.Errorf("timers = %+v", s.Timers)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "ghost") {
+		t.Errorf("JSON export contains never-observed timer:\n%s", buf.String())
+	}
+}
+
 func TestWriteTextSortedAndComplete(t *testing.T) {
 	r := NewRegistry()
 	r.Add("b.counter", 2)

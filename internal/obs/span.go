@@ -44,23 +44,32 @@ func Logf(format string, args ...interface{}) {
 }
 
 // Span is one timed phase. Spans nest by name (Child joins with "/"); a
-// nil *Span is valid and inert, which is what StartSpan returns when both
-// the registry and the verbose sink are off — call sites need no guards.
+// nil *Span is valid and inert, which is what StartSpan returns when the
+// registry, the verbose sink and the trace collector are all off — call
+// sites need no guards.
 type Span struct {
-	name  string
-	start time.Time
-	keys  []string
-	vals  []string
+	name     string
+	start    time.Time
+	keys     []string
+	vals     []string
+	traceID  uint64 // 0 when the trace collector is off
+	parentID uint64
+	gid      int64
 }
 
 // StartSpan opens a span. On End the span's wall time lands in the timer
-// "span.<name>" and, when a verbose sink is set, one line is logged with
-// the recorded fields.
+// "span.<name>", the trace collector buffers it when tracing is on, and,
+// when a verbose sink is set, one line is logged with the recorded fields.
 func StartSpan(name string) *Span {
-	if !enabled.Load() && !verboseOn.Load() {
+	if !enabled.Load() && !verboseOn.Load() && !trackingSpans() {
 		return nil
 	}
-	return &Span{name: name, start: time.Now()}
+	s := &Span{name: name, start: time.Now()}
+	if trackingSpans() {
+		s.gid = goid()
+		s.traceID = beginTraceSpan(s.name, s.start, s.gid)
+	}
+	return s
 }
 
 // Child opens a nested span named "<parent>/<name>".
@@ -68,7 +77,12 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return StartSpan(name)
 	}
-	return &Span{name: s.name + "/" + name, start: time.Now()}
+	c := &Span{name: s.name + "/" + name, start: time.Now(), parentID: s.traceID}
+	if trackingSpans() {
+		c.gid = goid()
+		c.traceID = beginTraceSpan(c.name, c.start, c.gid)
+	}
+	return c
 }
 
 // SetInt records an integer field.
@@ -112,7 +126,11 @@ func (s *Span) End() time.Duration {
 	if s == nil {
 		return 0
 	}
-	d := time.Since(s.start)
+	end := time.Now()
+	d := end.Sub(s.start)
+	if s.traceID != 0 {
+		endTraceSpan(s, end)
+	}
 	if enabled.Load() {
 		defaultR.Observe("span."+s.name, d)
 	}

@@ -116,16 +116,21 @@ func Simulate(g *graph.Graph, order []int, M int, policy Policy) (Result, error)
 		s.slot[i] = -1
 	}
 
+	simDone := obs.TimeHist("pebble.simulate_ns")
 	for i, v := range order {
 		s.step = int64(i)
 		if err := s.evaluate(v); err != nil {
 			return Result{}, err
 		}
 	}
+	simDone()
 	if obs.Enabled() {
 		obs.Inc("pebble.simulations")
 		obs.Add("pebble.reads", int64(s.res.Reads))
 		obs.Add("pebble.writes", int64(s.res.Writes))
+		// Per-simulation I/O distribution: the order search's spread between
+		// lucky and unlucky topological orders at this (graph, M).
+		obs.ObserveHist("pebble.io_per_sim", int64(s.res.Reads+s.res.Writes))
 	}
 	return s.res, nil
 }

@@ -154,6 +154,9 @@ func Optimal(g *graph.Graph, M int, opt Options) (*Result, error) {
 		if obs.Enabled() {
 			obs.Add("redblue.states", int64(len(dist)))
 			obs.Inc("redblue.searches")
+			// Distribution of state-space sizes across searches: the exact
+			// solver's expansion rate per (graph, M) instance.
+			obs.ObserveHist("redblue.states_per_search", int64(len(dist)))
 		}
 		sp.SetInt("states", int64(len(dist)))
 		sp.End()

@@ -33,6 +33,7 @@ func main() {
 	bhkMax := flag.Int("bhk-max", 0, "extend the Bellman-Held-Karp sweep up to this l")
 	matmulMax := flag.Int("matmul-max", 0, "extend the matmul sweep up to this n (step 4)")
 	mcTimeout := flag.Duration("mincut-timeout", 0, "override the per-graph min-cut time box")
+	expTimeout := flag.Duration("experiment-timeout", 0, "deadline per experiment; a deadlined experiment fails and the sweep continues (0 = none)")
 	maxK := flag.Int("maxk", 0, "override h, the number of eigenvalues computed")
 	doPlot := flag.Bool("plot", false, "render figure tables as ASCII charts after running")
 	plotDir := flag.String("plot-dir", "", "render saved CSVs from this directory and exit (no recomputation)")
@@ -86,6 +87,7 @@ func main() {
 	if *maxK > 0 {
 		cfg.MaxK = *maxK
 	}
+	cfg.ExperimentTimeout = *expTimeout
 	cfg.Progress = os.Stderr
 
 	var names []string
@@ -96,11 +98,17 @@ func main() {
 			}
 		}
 	}
+	// The sweep runs under the obs context: SIGINT/SIGTERM and the -timeout
+	// budget cancel it, RunAll stops at the next boundary with every
+	// completed CSV on disk, and Finish still flushes telemetry below.
 	start := time.Now()
-	tables, err := experiments.RunAll(cfg, *out, names, os.Stdout)
+	tables, err := experiments.RunAll(ofl.Context(), cfg, *out, names, os.Stdout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		finish()
+		if ofl.Interrupted() {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 	if *doPlot {
@@ -110,6 +118,9 @@ func main() {
 	}
 	fmt.Printf("total %v\n", time.Since(start).Round(time.Millisecond))
 	finish()
+	if ofl.Interrupted() {
+		os.Exit(130)
+	}
 }
 
 // plotSaved renders every known figure CSV found in dir, in figure order.

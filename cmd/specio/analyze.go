@@ -30,6 +30,7 @@ func cmdAnalyze(args []string) (err error) {
 		return err
 	}
 	defer finishObs(ofl, &err)
+	ctx := ofl.Context()
 	g, err := load()
 	if err != nil {
 		return err
@@ -41,11 +42,11 @@ func cmdAnalyze(args []string) (err error) {
 		return fmt.Errorf("max in-degree %d exceeds M=%d: no evaluation order is feasible", g.MaxInDeg(), *M)
 	}
 
-	t4, err := core.SpectralBound(g, core.Options{M: *M, MaxK: *maxK})
+	t4, err := core.SpectralBoundContext(ctx, g, core.Options{M: *M, MaxK: *maxK})
 	if err != nil {
 		return err
 	}
-	t5, err := core.SpectralBound(g, core.Options{M: *M, MaxK: *maxK, Laplacian: laplacian.Original})
+	t5, err := core.SpectralBoundContext(ctx, g, core.Options{M: *M, MaxK: *maxK, Laplacian: laplacian.Original})
 	if err != nil {
 		return err
 	}
@@ -56,7 +57,7 @@ func cmdAnalyze(args []string) (err error) {
 		fmt.Printf("parallel     p=%d (Theorem 6): %.2f\n", p, b)
 	}
 
-	mc, err := mincut.ConvexMinCutBound(g, mincut.Options{M: *M, Timeout: *mcTimeout})
+	mc, err := mincut.ConvexMinCutBoundContext(ctx, g, mincut.Options{M: *M, Timeout: *mcTimeout})
 	if err != nil {
 		return err
 	}
@@ -67,7 +68,7 @@ func cmdAnalyze(args []string) (err error) {
 	fmt.Printf("min-cut      %.2f, C(v*)=%d at vertex %d, %d flows in %v%s\n",
 		mc.Bound, mc.BestCut, mc.BestVertex, mc.Evaluated, mc.Elapsed.Round(time.Millisecond), note)
 
-	ub, order, name, err := pebble.BestOrder(g, *M, pebble.Belady, *samples, 1)
+	ub, order, name, err := pebble.BestOrderContext(ctx, g, *M, pebble.Belady, *samples, 1)
 	if err != nil {
 		return err
 	}
@@ -87,7 +88,7 @@ func cmdAnalyze(args []string) (err error) {
 		lower = mc.Bound
 	}
 	if g.N() <= 16 {
-		if exact, err := redblue.Optimal(g, *M, redblue.Options{}); err == nil {
+		if exact, err := redblue.OptimalContext(ctx, g, *M, redblue.Options{}); err == nil {
 			fmt.Printf("exact        J* = %d (red-blue state search, %d states)\n",
 				exact.IO, exact.States)
 			fmt.Printf("\nJ* bracket:  %.2f ≤ J* = %d ≤ %d   (M=%d)\n",

@@ -31,7 +31,7 @@ func cmdExact(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	res, err := redblue.Optimal(g, *M, redblue.Options{MaxStates: *maxStates})
+	res, err := redblue.OptimalContext(ofl.Context(), g, *M, redblue.Options{MaxStates: *maxStates})
 	if err != nil {
 		return err
 	}

@@ -16,6 +16,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -77,6 +79,14 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "specio: %v\n", err)
+		// Interrupt and wall-clock budget wind down through the pipeline
+		// context; exit with the conventional interrupted/timeout statuses.
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			os.Exit(124)
+		}
 		os.Exit(1)
 	}
 }
@@ -233,7 +243,7 @@ func cmdBound(args []string) (err error) {
 		return err
 	}
 	start := time.Now()
-	res, err := core.SpectralBound(g, core.Options{
+	res, err := core.SpectralBoundContext(ofl.Context(), g, core.Options{
 		M: *M, MaxK: *maxK, Laplacian: kind, Processors: *procs, Solver: sol,
 	})
 	if err != nil {
@@ -246,6 +256,12 @@ func cmdBound(args []string) (err error) {
 		res.Kind, res.SolverUsed, len(res.Eigenvalues), res.M, res.Processors)
 	fmt.Printf("bound       %.4f   (best k=%d, raw=%.4f)\n", res.Bound, res.BestK, res.Raw)
 	fmt.Printf("elapsed     %v\n", elapsed)
+	if res.Degraded {
+		fmt.Printf("degraded    the requested solver did not converge; the bound above is still valid\n")
+		for _, f := range res.Fallbacks {
+			fmt.Printf("            %s\n", f)
+		}
+	}
 	if g.MaxInDeg() > *M {
 		fmt.Printf("warning: max in-degree %d exceeds M=%d — no evaluation order is feasible at this M\n",
 			g.MaxInDeg(), *M)
@@ -283,7 +299,7 @@ func cmdSpectrum(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	res, err := core.SpectralBound(g, core.Options{M: 1, MaxK: *maxK, Laplacian: kind, Solver: sol})
+	res, err := core.SpectralBoundContext(ofl.Context(), g, core.Options{M: 1, MaxK: *maxK, Laplacian: kind, Solver: sol})
 	if err != nil {
 		return err
 	}
@@ -309,7 +325,7 @@ func cmdMinCut(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	res, err := mincut.ConvexMinCutBound(g, mincut.Options{M: *M, Timeout: *timeout, MaxVertices: *maxV})
+	res, err := mincut.ConvexMinCutBoundContext(ofl.Context(), g, mincut.Options{M: *M, Timeout: *timeout, MaxVertices: *maxV})
 	if err != nil {
 		return err
 	}
@@ -318,6 +334,9 @@ func cmdMinCut(args []string) (err error) {
 		res.Bound, res.BestCut, res.BestVertex, res.Evaluated, res.Elapsed.Round(time.Millisecond))
 	if res.TimedOut {
 		fmt.Printf("; timed out")
+	}
+	if res.Interrupted {
+		fmt.Printf("; interrupted")
 	}
 	fmt.Println(")")
 	return nil
@@ -350,7 +369,7 @@ func cmdSimulate(args []string) (err error) {
 	default:
 		return fmt.Errorf("unknown policy %q", *policy)
 	}
-	res, order, name, err := pebble.BestOrder(g, *M, pol, *samples, *seed)
+	res, order, name, err := pebble.BestOrderContext(ofl.Context(), g, *M, pol, *samples, *seed)
 	if err != nil {
 		return err
 	}
@@ -358,7 +377,7 @@ func cmdSimulate(args []string) (err error) {
 	fmt.Printf("best I/O  %d  (reads=%d writes=%d, order=%s, policy=%v)\n",
 		res.Total(), res.Reads, res.Writes, name, pol)
 	if *anneal > 0 {
-		_, annealed, err := pebble.Anneal(g, order, *M, pebble.AnnealOptions{
+		_, annealed, err := pebble.AnnealContext(ofl.Context(), g, order, *M, pebble.AnnealOptions{
 			Iters: *anneal, Seed: *seed, Policy: pol,
 		})
 		if err != nil {

@@ -17,8 +17,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"graphio/internal/graph"
@@ -68,6 +70,18 @@ func (s Solver) String() string {
 	}
 }
 
+// NonFiniteError reports NaN or ±Inf contamination detected at a core phase
+// boundary (eigensolve output, k-sweep bound). It is the core-level
+// counterpart of linalg.NonFiniteError.
+type NonFiniteError struct {
+	// Where locates the check that fired.
+	Where string
+}
+
+func (e *NonFiniteError) Error() string {
+	return fmt.Sprintf("core: non-finite value detected at %s", e.Where)
+}
+
 // Options configures SpectralBound.
 type Options struct {
 	// M is the fast-memory size in elements. Required, ≥ 1.
@@ -91,6 +105,19 @@ type Options struct {
 	Power *linalg.PowerOptions
 	// Chebyshev overrides the filtered-subspace solver options.
 	Chebyshev *linalg.ChebOptions
+	// WrapOperator, when non-nil, wraps the sparse Laplacian operator
+	// before it reaches an iterative eigensolver. It is applied fresh for
+	// every solver attempt, so stateful wrappers (fault injectors, probes)
+	// observe each attempt independently. The dense path builds its own
+	// matrix and is never wrapped.
+	WrapOperator func(linalg.Operator) linalg.Operator
+	// DenseFallbackCap is the largest vertex count for which the escalation
+	// chain may fall back to the O(n^3) dense solver after every iterative
+	// solver has failed. Default 2048; negative disables the dense fallback.
+	DenseFallbackCap int
+	// NoFallback disables the escalation chain entirely: the first solver
+	// failure is returned as an error, matching pre-fallback behavior.
+	NoFallback bool
 }
 
 func (o Options) withDefaults() Options {
@@ -102,6 +129,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DenseCutoff == 0 {
 		o.DenseCutoff = 1024
+	}
+	if o.DenseFallbackCap == 0 {
+		o.DenseFallbackCap = 2048
 	}
 	return o
 }
@@ -134,16 +164,39 @@ type Result struct {
 	Eigenvalues []float64
 	// PerK[k-1] is the bound value for that k.
 	PerK []float64
-	// N, M, Processors, Kind and SolverUsed echo the configuration.
+	// N, M, Processors, Kind and SolverUsed echo the configuration; after a
+	// fallback, Kind and SolverUsed report what actually produced the bound
+	// (e.g. Kind == Original after the Theorem 5 route).
 	N          int
 	M          int
 	Processors int
 	Kind       laplacian.Kind
 	SolverUsed Solver
+	// Degraded reports that the escalation chain had to deviate from the
+	// requested configuration (seed retry, solver switch, dense fallback,
+	// or Theorem 5 route) to produce this bound.
+	Degraded bool
+	// Fallbacks lists the degradation events, in order, human-readably.
+	Fallbacks []string
 }
 
 // SpectralBound computes the paper's spectral I/O lower bound for g.
 func SpectralBound(g *graph.Graph, opt Options) (*Result, error) {
+	return SpectralBoundContext(context.Background(), g, opt)
+}
+
+// SpectralBoundContext is SpectralBound with cancellation and graceful
+// degradation. The context is threaded into every eigensolve and checked at
+// iteration boundaries; cancellation aborts the solve immediately without
+// attempting fallbacks. When a solver fails for any other reason and
+// Options.NoFallback is unset, an escalation chain tries progressively more
+// robust configurations: one retry with a perturbed start seed, the
+// remaining iterative solvers (Lanczos, then Chebyshev), the dense solver
+// when n ≤ Options.DenseFallbackCap, and finally the Theorem 5 route
+// (original Laplacian with the max-out-degree divisor) when Theorem 4 was
+// requested. Every degradation is recorded in Result.Fallbacks and counted
+// under the core.fallback.* observability counters.
+func SpectralBoundContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	if err := opt.validate(); err != nil {
 		return nil, err
@@ -151,6 +204,9 @@ func SpectralBound(g *graph.Graph, opt Options) (*Result, error) {
 	n := g.N()
 	if n == 0 {
 		return &Result{N: 0, M: opt.M, Processors: opt.Processors, Kind: opt.Laplacian, SolverUsed: opt.Solver}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: spectral bound interrupted: %w", err)
 	}
 	h := opt.MaxK
 	if h > n {
@@ -165,68 +221,27 @@ func SpectralBound(g *graph.Graph, opt Options) (*Result, error) {
 			solver = SolverChebyshev
 		}
 	}
+	if solver != SolverDense && solver != SolverLanczos && solver != SolverPower && solver != SolverChebyshev {
+		return nil, fmt.Errorf("core: unknown solver %v", opt.Solver)
+	}
 
 	sp := obs.StartSpan("core.spectral_bound")
 	sp.SetInt("n", int64(n))
 	sp.SetInt("h", int64(h))
 	sp.SetStr("solver", solver.String())
 	sp.SetStr("laplacian", opt.Laplacian.String())
+	defer sp.End()
 
-	var lambda []float64
-	switch solver {
-	case SolverDense:
-		lsp := sp.Child("laplacian")
-		L := laplacian.BuildDense(g, opt.Laplacian)
-		lsp.End()
-		esp := sp.Child("eigensolve")
-		vals, err := linalg.SymEigValues(L)
-		if err != nil {
-			return nil, fmt.Errorf("core: dense eigensolve: %w", err)
-		}
-		esp.End()
-		// The dense path applies no operator products; register the matvec
-		// counter anyway so the metric exists for every solver choice.
-		obs.Add("linalg.matvecs", 0)
-		if len(vals) > h {
-			vals = vals[:h]
-		}
-		lambda = vals
-	case SolverLanczos, SolverPower, SolverChebyshev:
-		lsp := sp.Child("laplacian")
-		L, err := laplacian.BuildCSR(g, opt.Laplacian)
-		if err != nil {
-			return nil, fmt.Errorf("core: building Laplacian: %w", err)
-		}
-		c := L.GershgorinUpper()
-		lsp.End()
-		var op linalg.Operator = L
-		var cnt *linalg.CountingOperator
-		if obs.Enabled() {
-			cnt = &linalg.CountingOperator{A: L}
-			op = cnt
-		}
-		esp := sp.Child("eigensolve")
-		switch solver {
-		case SolverLanczos:
-			lambda, err = linalg.SmallestEigsPSD(op, c, h, opt.Lanczos)
-		case SolverPower:
-			lambda, err = linalg.PowerSmallestPSD(op, c, h, opt.Power)
-		default:
-			lambda, err = linalg.ChebFilteredSmallest(op, c, h, opt.Chebyshev)
-		}
-		if cnt != nil {
-			obs.Add("linalg.matvecs", cnt.Count())
-		}
-		if err != nil {
-			return nil, fmt.Errorf("core: %v eigensolve: %w", solver, err)
-		}
-		esp.End()
-	default:
-		return nil, fmt.Errorf("core: unknown solver %v", opt.Solver)
+	lambda, used, kind, events, err := solveSpectrum(ctx, g, solver, opt.Laplacian, h, opt, sp)
+	if err != nil {
+		return nil, err
+	}
+	if err := linalg.CheckFinite("core eigensolve output", lambda); err != nil {
+		return nil, &NonFiniteError{Where: "eigensolve output"}
 	}
 
 	divisor := 1.0
-	if opt.Laplacian == laplacian.Original {
+	if kind == laplacian.Original {
 		d := g.MaxOutDeg()
 		if d == 0 {
 			d = 1 // edgeless graph; the spectrum is all zeros anyway
@@ -242,9 +257,11 @@ func SpectralBound(g *graph.Graph, opt Options) (*Result, error) {
 	ksp := sp.Child("ksweep")
 	bound, bestK, perK := BoundFromEigenvalues(lambda, n, opt.M, opt.Processors, divisor)
 	ksp.End()
+	if math.IsNaN(bound) || math.IsInf(bound, 0) {
+		return nil, &NonFiniteError{Where: "k-sweep bound"}
+	}
 	sp.SetFloat("bound", bound)
 	sp.SetInt("best_k", int64(bestK))
-	sp.End()
 	res := &Result{
 		Bound:       bound,
 		BestK:       bestK,
@@ -254,10 +271,269 @@ func SpectralBound(g *graph.Graph, opt Options) (*Result, error) {
 		N:           n,
 		M:           opt.M,
 		Processors:  opt.Processors,
-		Kind:        opt.Laplacian,
-		SolverUsed:  solver,
+		Kind:        kind,
+		SolverUsed:  used,
+		Degraded:    len(events) > 0,
+		Fallbacks:   events,
 	}
 	return res, nil
+}
+
+// solveSpectrum produces the ascending h smallest Laplacian eigenvalues for
+// g, escalating through fallbacks when solvers fail. It returns the solver
+// and Laplacian kind that actually succeeded plus the degradation events.
+func solveSpectrum(ctx context.Context, g *graph.Graph, solver Solver, kind laplacian.Kind, h int, opt Options, sp *obs.Span) ([]float64, Solver, laplacian.Kind, []string, error) {
+	var events []string
+
+	if solver == SolverDense {
+		lambda, err := denseSpectrum(g, kind, h, sp)
+		if err == nil {
+			return lambda, SolverDense, kind, nil, nil
+		}
+		if opt.NoFallback {
+			return nil, solver, kind, nil, err
+		}
+		// The dense path has no iteration budget to exhaust; a failure here
+		// means a degenerate matrix. The iterative chain below is still
+		// worth a shot before giving up.
+		events = recordFallback(events, "solver",
+			fmt.Sprintf("dense solve failed (%v); escalating to iterative solvers", err))
+		solver = SolverChebyshev
+	}
+
+	lambda, used, evs, err := iterativeChain(ctx, g, solver, kind, h, opt, sp)
+	events = append(events, evs...)
+	if err == nil {
+		return lambda, used, kind, events, nil
+	}
+	if opt.NoFallback || isInterrupt(err) {
+		return nil, used, kind, events, err
+	}
+
+	// Terminal fallback: the Theorem 5 route. The original Laplacian with
+	// the max-out-degree divisor is a sound (if looser) bound whenever the
+	// normalized solve cannot be completed.
+	if kind == laplacian.OutDegreeNormalized {
+		events = recordFallback(events, "theorem5",
+			fmt.Sprintf("all solvers failed on the normalized Laplacian (%v); falling back to the Theorem 5 bound on the original Laplacian", err))
+		lambda, used, evs, err5 := iterativeChain(ctx, g, SolverChebyshev, laplacian.Original, h, opt, sp)
+		events = append(events, evs...)
+		if err5 == nil {
+			return lambda, used, laplacian.Original, events, nil
+		}
+		if isInterrupt(err5) {
+			return nil, used, laplacian.Original, events, err5
+		}
+		err = errors.Join(err, err5)
+	}
+	return nil, used, kind, events, fmt.Errorf("core: all eigensolve fallbacks exhausted: %w", err)
+}
+
+// iterativeChain tries the requested iterative solver, a perturbed-seed
+// retry of it, the remaining iterative solvers, and finally the dense
+// solver when n is below Options.DenseFallbackCap.
+func iterativeChain(ctx context.Context, g *graph.Graph, requested Solver, kind laplacian.Kind, h int, opt Options, sp *obs.Span) ([]float64, Solver, []string, error) {
+	lsp := sp.Child("laplacian")
+	L, err := laplacian.BuildCSR(g, kind)
+	lsp.End()
+	if err != nil {
+		return nil, requested, nil, fmt.Errorf("core: building Laplacian: %w", err)
+	}
+	c := L.GershgorinUpper()
+
+	attempts := []solveAttempt{{requested, false}}
+	if !opt.NoFallback {
+		attempts = append(attempts, solveAttempt{requested, true})
+		for _, s := range []Solver{SolverLanczos, SolverChebyshev} {
+			if s != requested {
+				attempts = append(attempts, solveAttempt{s, false})
+			}
+		}
+	}
+
+	var events []string
+	var firstErr error
+	used := requested
+	for i, at := range attempts {
+		if err := ctx.Err(); err != nil {
+			return nil, used, events, fmt.Errorf("core: eigensolve interrupted: %w", err)
+		}
+		used = at.solver
+		lambda, err := attemptSolve(ctx, L, c, h, at, opt, sp)
+		if err == nil {
+			if ferr := linalg.CheckFinite("eigensolve output", lambda); ferr != nil {
+				obs.Inc("core.fallback.nonfinite")
+				err = &NonFiniteError{Where: fmt.Sprintf("%v eigensolve output", at.solver)}
+			} else {
+				return lambda, at.solver, events, nil
+			}
+		}
+		if isInterrupt(err) {
+			if errors.Is(err, context.DeadlineExceeded) {
+				obs.Inc("core.deadline.hit")
+			}
+			return nil, used, events, fmt.Errorf("core: %v eigensolve: %w", at.solver, err)
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("core: %v eigensolve: %w", at.solver, err)
+		}
+		if opt.NoFallback {
+			return nil, used, events, firstErr
+		}
+		// Describe the step the chain takes next, if any.
+		if i+1 < len(attempts) {
+			next := attempts[i+1]
+			if next.perturb {
+				events = recordFallback(events, "retry",
+					fmt.Sprintf("%v failed (%v); retrying with a perturbed start seed", at.solver, err))
+			} else {
+				events = recordFallback(events, "solver",
+					fmt.Sprintf("%v failed (%v); switching to %v", at.solver, err, next.solver))
+			}
+		} else {
+			events = append(events, fmt.Sprintf("%v failed (%v)", at.solver, err))
+		}
+	}
+
+	// Dense terminal step for this Laplacian kind, size permitting.
+	if opt.DenseFallbackCap >= 0 && g.N() <= opt.DenseFallbackCap {
+		events = recordFallback(events, "dense",
+			"all iterative solvers failed; falling back to the dense solver")
+		lambda, err := denseSpectrum(g, kind, h, sp)
+		if err == nil {
+			if ferr := linalg.CheckFinite("dense eigensolve output", lambda); ferr != nil {
+				obs.Inc("core.fallback.nonfinite")
+				return nil, SolverDense, events, errors.Join(firstErr, ferr)
+			}
+			return lambda, SolverDense, events, nil
+		}
+		return nil, SolverDense, events, errors.Join(firstErr, err)
+	}
+	return nil, used, events, firstErr
+}
+
+// solveAttempt names one step of the iterative escalation chain.
+type solveAttempt struct {
+	solver  Solver
+	perturb bool
+}
+
+// attemptSolve runs one iterative eigensolve with a freshly wrapped operator
+// and, when the attempt is a retry, a perturbed deterministic start seed.
+func attemptSolve(ctx context.Context, L *linalg.CSR, c float64, h int, at solveAttempt, opt Options, sp *obs.Span) ([]float64, error) {
+	var op linalg.Operator = L
+	if opt.WrapOperator != nil {
+		op = opt.WrapOperator(op)
+	}
+	var cnt *linalg.CountingOperator
+	if obs.Enabled() {
+		cnt = &linalg.CountingOperator{A: op}
+		op = cnt
+	}
+	esp := sp.Child("eigensolve")
+	esp.SetStr("solver", at.solver.String())
+	var lambda []float64
+	var err error
+	switch at.solver {
+	case SolverLanczos:
+		lo := opt.Lanczos
+		if at.perturb {
+			lo = perturbLanczos(lo)
+		}
+		lambda, err = linalg.SmallestEigsPSDContext(ctx, op, c, h, lo)
+	case SolverPower:
+		po := opt.Power
+		if at.perturb {
+			po = perturbPower(po)
+		}
+		lambda, err = linalg.PowerSmallestPSDContext(ctx, op, c, h, po)
+	default:
+		co := opt.Chebyshev
+		if at.perturb {
+			co = perturbCheb(co)
+		}
+		lambda, err = linalg.ChebFilteredSmallestContext(ctx, op, c, h, co)
+	}
+	if cnt != nil {
+		obs.Add("linalg.matvecs", cnt.Count())
+	}
+	esp.End()
+	return lambda, err
+}
+
+// denseSpectrum computes the h smallest eigenvalues with the dense solver.
+func denseSpectrum(g *graph.Graph, kind laplacian.Kind, h int, sp *obs.Span) ([]float64, error) {
+	lsp := sp.Child("laplacian")
+	L := laplacian.BuildDense(g, kind)
+	lsp.End()
+	esp := sp.Child("eigensolve")
+	esp.SetStr("solver", "dense")
+	vals, err := linalg.SymEigValues(L)
+	esp.End()
+	if err != nil {
+		return nil, fmt.Errorf("core: dense eigensolve: %w", err)
+	}
+	// The dense path applies no operator products; register the matvec
+	// counter anyway so the metric exists for every solver choice.
+	obs.Add("linalg.matvecs", 0)
+	if len(vals) > h {
+		vals = vals[:h]
+	}
+	return vals, nil
+}
+
+// recordFallback appends a degradation event and bumps its counters.
+func recordFallback(events []string, kindName, msg string) []string {
+	obs.Inc("core.fallback." + kindName)
+	obs.Inc("core.fallback.total")
+	return append(events, msg)
+}
+
+// isInterrupt reports whether err stems from context cancellation or an
+// expired deadline — failures the escalation chain must not mask.
+func isInterrupt(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// nextSeed advances a deterministic seed for a perturbed retry: an LCG step
+// so the retry explores a genuinely different start vector while the whole
+// escalation chain stays reproducible.
+func nextSeed(s int64) int64 {
+	if s == 0 {
+		s = 1 // solvers treat 0 as "use the default"
+	}
+	s = s*6364136223846793005 + 1442695040888963407
+	if s == 0 {
+		s = 7
+	}
+	return s
+}
+
+func perturbLanczos(o *linalg.LanczosOptions) *linalg.LanczosOptions {
+	var out linalg.LanczosOptions
+	if o != nil {
+		out = *o
+	}
+	out.Seed = nextSeed(out.Seed)
+	return &out
+}
+
+func perturbPower(o *linalg.PowerOptions) *linalg.PowerOptions {
+	var out linalg.PowerOptions
+	if o != nil {
+		out = *o
+	}
+	out.Seed = nextSeed(out.Seed)
+	return &out
+}
+
+func perturbCheb(o *linalg.ChebOptions) *linalg.ChebOptions {
+	var out linalg.ChebOptions
+	if o != nil {
+		out = *o
+	}
+	out.Seed = nextSeed(out.Seed)
+	return &out
 }
 
 // BoundFromEigenvalues evaluates the Theorem 4/5/6 bound directly from an
@@ -270,12 +546,15 @@ func SpectralBound(g *graph.Graph, opt Options) (*Result, error) {
 //
 // This entry point is what closed-form analyses use: feed it an analytic
 // spectrum (e.g. the hypercube's or the butterfly's) instead of a computed
-// one.
+// one. It never panics and never returns non-finite values: NaN/Inf
+// eigenvalues are treated as 0 (keeping the lower bound sound), a
+// non-positive or non-finite divisor is treated as 1, and overflowing per-k
+// values saturate at ±math.MaxFloat64.
 func BoundFromEigenvalues(lambda []float64, n, M, p int, divisor float64) (bound float64, bestK int, perK []float64) {
 	if p < 1 {
 		p = 1
 	}
-	if divisor <= 0 {
+	if divisor <= 0 || math.IsNaN(divisor) || math.IsInf(divisor, 0) {
 		divisor = 1
 	}
 	perK = make([]float64, len(lambda))
@@ -289,13 +568,27 @@ func BoundFromEigenvalues(lambda []float64, n, M, p int, divisor float64) (bound
 		if timed {
 			t0 = time.Now()
 		}
-		if l < 0 {
-			l = 0 // eigenvalues of a PSD Laplacian; clamp round-off
+		if l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+			l = 0 // eigenvalues of a PSD Laplacian; drop round-off and corruption
 		}
 		sum += l
+		if math.IsInf(sum, 1) {
+			sum = math.MaxFloat64 // saturate rather than poison every later k
+		}
 		k := i + 1
-		seg := n / (k * p) // ⌊n/(kp)⌋
-		perK[i] = float64(seg)*sum/divisor - 2*float64(k)*float64(M)
+		// ⌊n/(kp)⌋ via nested floor division: identical result for n ≥ 0,
+		// and k*p cannot overflow.
+		seg := (n / k) / p
+		v := float64(seg)*sum/divisor - 2*float64(k)*float64(M)
+		switch {
+		case math.IsNaN(v):
+			v = 0
+		case math.IsInf(v, 1):
+			v = math.MaxFloat64
+		case math.IsInf(v, -1):
+			v = -math.MaxFloat64
+		}
+		perK[i] = v
 		if timed {
 			obs.ObserveHistDuration("core.boundk_ns", time.Since(t0))
 		}

@@ -1,0 +1,60 @@
+package core
+
+// Fuzz coverage for the Theorem 4/5/6 arithmetic: BoundFromEigenvalues is
+// the last stop before a number is reported as a "lower bound", so whatever
+// a degraded solver hands it — NaN, ±Inf, negative round-off, absurd n/M/p
+// combinations — it must neither panic nor emit a non-finite or negative
+// bound.
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func FuzzBoundFromEigenvalues(f *testing.F) {
+	clean := make([]byte, 0, 4*8)
+	for _, v := range []float64{0, 0.1, 0.5, 1.9} {
+		clean = binary.LittleEndian.AppendUint64(clean, math.Float64bits(v))
+	}
+	f.Add(clean, 64, 8, 1, 1.0)
+	poison := make([]byte, 0, 3*8)
+	for _, v := range []float64{math.NaN(), math.Inf(1), -1e300} {
+		poison = binary.LittleEndian.AppendUint64(poison, math.Float64bits(v))
+	}
+	f.Add(poison, 1<<40, 0, 0, math.NaN())
+	f.Add([]byte{}, -5, -5, -5, -0.0)
+	f.Add(clean, math.MaxInt64, math.MaxInt64, math.MaxInt64, math.MaxFloat64)
+
+	f.Fuzz(func(t *testing.T, data []byte, n, M, p int, divisor float64) {
+		const maxH = 64
+		lambda := make([]float64, 0, maxH)
+		for i := 0; i+8 <= len(data) && len(lambda) < maxH; i += 8 {
+			lambda = append(lambda, math.Float64frombits(binary.LittleEndian.Uint64(data[i:])))
+		}
+
+		bound, bestK, perK := BoundFromEigenvalues(lambda, n, M, p, divisor)
+
+		if math.IsNaN(bound) || math.IsInf(bound, 0) {
+			t.Fatalf("bound = %v, must be finite (lambda=%v n=%d M=%d p=%d divisor=%v)",
+				bound, lambda, n, M, p, divisor)
+		}
+		if bound < 0 {
+			t.Fatalf("bound = %v, must be clamped at 0", bound)
+		}
+		if bestK < 0 || bestK > len(lambda) {
+			t.Fatalf("bestK = %d out of range [0,%d]", bestK, len(lambda))
+		}
+		if len(perK) != len(lambda) {
+			t.Fatalf("len(perK) = %d, want %d", len(perK), len(lambda))
+		}
+		for i, v := range perK {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("perK[%d] = %v, must be finite", i, v)
+			}
+		}
+		if bestK > 0 && perK[bestK-1] != bound {
+			t.Fatalf("perK[bestK-1] = %v != bound %v", perK[bestK-1], bound)
+		}
+	})
+}

@@ -1,0 +1,215 @@
+package core
+
+// Escalation-chain coverage: forced solver failures injected through
+// internal/faultinject must degrade gracefully — retry, switch solvers,
+// fall back to dense or the Theorem 5 route — and every degradation must be
+// visible in Result.Fallbacks and the core.fallback.* counters.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"graphio/internal/faultinject"
+	"graphio/internal/laplacian"
+	"graphio/internal/linalg"
+	"graphio/internal/obs"
+)
+
+// failFastSolverOpts keeps the faulted iterative attempts cheap and keeps
+// Lanczos's Krylov space far below the full dimension (at full dimension a
+// breakdown would mark unconverged garbage as converged).
+func failFastSolverOpts(o *Options) {
+	o.Lanczos = &linalg.LanczosOptions{MaxRestarts: 2, Steps: 8}
+	o.Chebyshev = &linalg.ChebOptions{MaxIter: 2, Degree: 6}
+	o.Power = &linalg.PowerOptions{MaxIter: 30}
+}
+
+func TestFallbackChainSurvivesForcedLanczosNonConvergence(t *testing.T) {
+	obs.Reset()
+	obs.Enable(true)
+	defer func() {
+		obs.Enable(false)
+		obs.Reset()
+	}()
+	g := hypercubeDAG(6)
+	opt := Options{M: 4, MaxK: 8, Solver: SolverLanczos}
+	failFastSolverOpts(&opt)
+	// Noise on every matvec: each iterative attempt (Lanczos, its perturbed
+	// retry, Chebyshev) produces finite garbage and fails to converge. The
+	// dense fallback builds its own matrix, bypassing the wrapper.
+	opt.WrapOperator = func(op linalg.Operator) linalg.Operator {
+		return &faultinject.Op{A: op, NoiseFrom: 1, NoiseAmp: 5}
+	}
+	res, err := SpectralBound(g, opt)
+	if err != nil {
+		t.Fatalf("bound under injected Lanczos failure: %v", err)
+	}
+	if !res.Degraded || len(res.Fallbacks) == 0 {
+		t.Fatalf("Degraded = %v, Fallbacks = %v: degradation not reported", res.Degraded, res.Fallbacks)
+	}
+	if res.SolverUsed != SolverDense {
+		t.Errorf("SolverUsed = %v, want dense fallback", res.SolverUsed)
+	}
+
+	// The degraded run must still produce the *correct* bound: the dense
+	// fallback sees the clean Laplacian, so it must agree with an unfaulted
+	// dense solve exactly.
+	clean, err := SpectralBound(g, Options{M: 4, MaxK: 8, Solver: SolverDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Bound-clean.Bound) > 1e-9*(1+math.Abs(clean.Bound)) {
+		t.Errorf("degraded bound %g != clean dense bound %g", res.Bound, clean.Bound)
+	}
+
+	reg := obs.Default()
+	if n := reg.Counter("core.fallback.retry"); n < 1 {
+		t.Errorf("core.fallback.retry = %d, want ≥ 1", n)
+	}
+	if n := reg.Counter("core.fallback.solver"); n < 1 {
+		t.Errorf("core.fallback.solver = %d, want ≥ 1", n)
+	}
+	if n := reg.Counter("core.fallback.dense"); n < 1 {
+		t.Errorf("core.fallback.dense = %d, want ≥ 1", n)
+	}
+	if n := reg.Counter("core.fallback.total"); n < 3 {
+		t.Errorf("core.fallback.total = %d, want ≥ 3", n)
+	}
+	if n := reg.Counter("faultinject.faulted_matvecs"); n < 1 {
+		t.Errorf("faultinject.faulted_matvecs = %d, want ≥ 1", n)
+	}
+}
+
+func TestTheorem5RouteWhenDenseFallbackDisabled(t *testing.T) {
+	obs.Reset()
+	obs.Enable(true)
+	defer func() {
+		obs.Enable(false)
+		obs.Reset()
+	}()
+	g := hypercubeDAG(6)
+	opt := Options{M: 4, MaxK: 8, Solver: SolverChebyshev, DenseFallbackCap: -1}
+	failFastSolverOpts(&opt)
+	// The clean Theorem 5 solve needs a real sweep budget; the faulted
+	// attempts still fail fast because the noise swamps every tolerance.
+	opt.Chebyshev = &linalg.ChebOptions{MaxIter: 30, Degree: 8}
+	// Fault the three normalized-Laplacian attempts (Chebyshev, its retry,
+	// Lanczos); the Theorem 5 route's solve on the original Laplacian is the
+	// fourth wrap and runs clean.
+	wraps := 0
+	opt.WrapOperator = func(op linalg.Operator) linalg.Operator {
+		wraps++
+		if wraps <= 3 {
+			return &faultinject.Op{A: op, NoiseFrom: 1, NoiseAmp: 5}
+		}
+		return op
+	}
+	res, err := SpectralBound(g, opt)
+	if err != nil {
+		t.Fatalf("bound via Theorem 5 route: %v", err)
+	}
+	if res.Kind != laplacian.Original {
+		t.Errorf("Kind = %v, want Original (Theorem 5 route)", res.Kind)
+	}
+	if !res.Degraded {
+		t.Error("Degraded not set")
+	}
+	if n := obs.Default().Counter("core.fallback.theorem5"); n != 1 {
+		t.Errorf("core.fallback.theorem5 = %d, want 1", n)
+	}
+
+	// The Theorem 5 route must agree with directly requesting the original
+	// Laplacian on a clean operator.
+	clean, err := SpectralBound(g, Options{M: 4, MaxK: 8, Solver: SolverDense, Laplacian: laplacian.Original})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Bound-clean.Bound) > 1e-6*(1+math.Abs(clean.Bound)) {
+		t.Errorf("Theorem 5 route bound %g != clean original-Laplacian bound %g", res.Bound, clean.Bound)
+	}
+}
+
+func TestPerturbedSeedRetryRecoversTransientFault(t *testing.T) {
+	g := hypercubeDAG(5)
+	opt := Options{M: 4, MaxK: 6, Solver: SolverChebyshev}
+	failFastSolverOpts(&opt)
+	opt.Chebyshev = &linalg.ChebOptions{MaxIter: 30, Degree: 8}
+	// Only the first attempt sees a poisoned operator; the retry runs clean
+	// and must succeed with the originally requested solver.
+	wraps := 0
+	opt.WrapOperator = func(op linalg.Operator) linalg.Operator {
+		wraps++
+		if wraps == 1 {
+			return &faultinject.Op{A: op, NaNFrom: 1}
+		}
+		return op
+	}
+	res, err := SpectralBound(g, opt)
+	if err != nil {
+		t.Fatalf("bound after transient fault: %v", err)
+	}
+	if res.SolverUsed != SolverChebyshev {
+		t.Errorf("SolverUsed = %v, want chebyshev (retry, not solver switch)", res.SolverUsed)
+	}
+	if !res.Degraded || len(res.Fallbacks) != 1 {
+		t.Errorf("Degraded = %v, Fallbacks = %v: want exactly the retry event", res.Degraded, res.Fallbacks)
+	}
+	if wraps != 2 {
+		t.Errorf("WrapOperator invoked %d times, want 2", wraps)
+	}
+}
+
+func TestNoFallbackFailsFast(t *testing.T) {
+	g := hypercubeDAG(5)
+	opt := Options{M: 4, MaxK: 6, Solver: SolverChebyshev, NoFallback: true}
+	failFastSolverOpts(&opt)
+	wraps := 0
+	opt.WrapOperator = func(op linalg.Operator) linalg.Operator {
+		wraps++
+		return &faultinject.Op{A: op, NoiseFrom: 1, NoiseAmp: 5}
+	}
+	_, err := SpectralBound(g, opt)
+	if err == nil {
+		t.Fatal("NoFallback solve under noise succeeded")
+	}
+	var nc *linalg.NotConvergedError
+	if !errors.As(err, &nc) {
+		t.Fatalf("error = %v (%T), want *linalg.NotConvergedError", err, err)
+	}
+	if wraps != 1 {
+		t.Errorf("WrapOperator invoked %d times, want 1 (no retries)", wraps)
+	}
+}
+
+func TestCancelledContextAbortsWithoutFallbacks(t *testing.T) {
+	g := hypercubeDAG(5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SpectralBoundContext(ctx, g, Options{M: 4, MaxK: 6, Solver: SolverChebyshev})
+	if err == nil {
+		t.Fatal("cancelled bound succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled in chain", err)
+	}
+}
+
+func TestDeadlineDuringSolveIsNotMasked(t *testing.T) {
+	g := hypercubeDAG(6)
+	opt := Options{M: 4, MaxK: 8, Solver: SolverLanczos}
+	opt.WrapOperator = func(op linalg.Operator) linalg.Operator {
+		return &faultinject.Op{A: op, StallFrom: 1, Stall: 2 * time.Millisecond}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	_, err := SpectralBoundContext(ctx, g, opt)
+	if err == nil {
+		t.Fatal("stalled bound beat the deadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want context.DeadlineExceeded in chain (fallbacks must not mask deadlines)", err)
+	}
+}

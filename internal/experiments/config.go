@@ -38,6 +38,12 @@ type Config struct {
 	Solver core.Solver
 	MaxK   int
 
+	// ExperimentTimeout, when positive, deadlines each experiment
+	// individually inside RunAll: a deadlined experiment is reported as
+	// failed and the sweep continues with the next one. The zero value
+	// leaves experiments unbounded (only the caller's context limits them).
+	ExperimentTimeout time.Duration
+
 	// Validation/ablation table control.
 	SandwichSamples int // random orders tried per upper-bound search
 	ERSizes         []int

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"os"
 	"path/filepath"
@@ -73,7 +74,7 @@ func parseCell(t *testing.T, s string) (float64, bool) {
 
 func TestFigure7ShapeAndMonotonicity(t *testing.T) {
 	cfg := tiny()
-	tab, err := Figure7(cfg, func(l int) *graph.Graph { return gen.FFT(l) })
+	tab, err := Figure7(context.Background(), cfg, func(l int) *graph.Graph { return gen.FFT(l) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestFigure10SpectralPositiveAndDominant(t *testing.T) {
 	cfg := tiny()
 	cfg.BHKCities = []int{6, 7, 8}
 	cfg.BHKMemories = []int{8} // M ≥ max in-degree so no point is dropped
-	tab, err := Figure10(cfg, func(l int) *graph.Graph { return gen.BellmanHeldKarp(l) })
+	tab, err := Figure10(context.Background(), cfg, func(l int) *graph.Graph { return gen.BellmanHeldKarp(l) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestFigure10SpectralPositiveAndDominant(t *testing.T) {
 	}
 	// Points where in-degree exceeds M must be dropped, not zeroed.
 	cfg.BHKMemories = []int{4}
-	tab, err = Figure10(cfg, func(l int) *graph.Graph { return gen.BellmanHeldKarp(l) })
+	tab, err = Figure10(context.Background(), cfg, func(l int) *graph.Graph { return gen.BellmanHeldKarp(l) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestFigure10SpectralPositiveAndDominant(t *testing.T) {
 func TestFigure11ReportsRuntimes(t *testing.T) {
 	cfg := tiny()
 	cfg.BHKCities = []int{4, 5}
-	tab, err := Figure11(cfg, func(l int) *graph.Graph { return gen.BellmanHeldKarp(l) })
+	tab, err := Figure11(context.Background(), cfg, func(l int) *graph.Graph { return gen.BellmanHeldKarp(l) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestFigure11ReportsRuntimes(t *testing.T) {
 
 func TestTableHypercubeClosedFormMatchesComputed(t *testing.T) {
 	cfg := tiny()
-	tab, err := TableHypercube(cfg)
+	tab, err := TableHypercube(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestTableFFTRatioWithinLogFactor(t *testing.T) {
 	cfg := tiny()
 	cfg.FFTLevels = []int{10, 12}
 	cfg.FFTMemories = []int{4}
-	tab, err := TableFFT(cfg)
+	tab, err := TableFFT(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestTableFFTRatioWithinLogFactor(t *testing.T) {
 	// error.
 	cfg.FFTLevels = []int{8}
 	cfg.FFTMemories = []int{16}
-	tab, err = TableFFT(cfg)
+	tab, err = TableFFT(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestTableFFTRatioWithinLogFactor(t *testing.T) {
 
 func TestTableERRuns(t *testing.T) {
 	cfg := tiny()
-	tab, err := TableER(cfg)
+	tab, err := TableER(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestTableSandwichHoldsInternally(t *testing.T) {
 	cfg := tiny()
 	// TableSandwich returns an error if any lower bound exceeds the
 	// simulated upper bound, so success is the assertion.
-	tab, err := TableSandwich(cfg)
+	tab, err := TableSandwich(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestTableSandwichHoldsInternally(t *testing.T) {
 
 func TestTableBestKStaysBelowCap(t *testing.T) {
 	cfg := tiny()
-	tab, err := TableBestK(cfg)
+	tab, err := TableBestK(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestTableBestKStaysBelowCap(t *testing.T) {
 
 func TestTableThm4vs5Tightness(t *testing.T) {
 	cfg := tiny()
-	tab, err := TableThm4vs5(cfg)
+	tab, err := TableThm4vs5(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestTableParallelMonotone(t *testing.T) {
 	cfg := tiny()
 	// TableParallel validates monotonicity internally (errors on
 	// violation); also check cells parse and p1 dominates p16.
-	tab, err := TableParallel(cfg)
+	tab, err := TableParallel(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func TestTableParallelMonotone(t *testing.T) {
 
 func TestTablePartitionedMinCutTrivial(t *testing.T) {
 	cfg := tiny()
-	tab, err := TablePartitionedMinCut(cfg)
+	tab, err := TablePartitionedMinCut(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +302,7 @@ func TestTableSchedulerBracketsJStar(t *testing.T) {
 	cfg := tiny()
 	// Internal consistency (lower ≤ best) is enforced by the function;
 	// it returning without error is the assertion.
-	tab, err := TableScheduler(cfg)
+	tab, err := TableScheduler(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +314,7 @@ func TestTableSchedulerBracketsJStar(t *testing.T) {
 func TestTableLambda2NearPrediction(t *testing.T) {
 	cfg := tiny()
 	cfg.ERSizes = []int{256}
-	tab, err := TableLambda2(cfg)
+	tab, err := TableLambda2(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,7 +335,7 @@ func TestTableExactGroundTruth(t *testing.T) {
 	cfg := tiny()
 	// TableExact enforces lower ≤ J* ≤ simulated internally; returning
 	// without error plus non-empty rows is the assertion.
-	tab, err := TableExact(cfg)
+	tab, err := TableExact(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,7 +353,7 @@ func TestTableExactGroundTruth(t *testing.T) {
 
 func TestTableExpansionConsistent(t *testing.T) {
 	cfg := tiny()
-	tab, err := TableExpansion(cfg)
+	tab, err := TableExpansion(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +369,7 @@ func TestTableExpansionConsistent(t *testing.T) {
 func TestTableGridSandwich(t *testing.T) {
 	cfg := tiny()
 	// Internal lower ≤ simulated check is enforced by the function.
-	tab, err := TableGrid(cfg)
+	tab, err := TableGrid(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -383,7 +384,7 @@ func TestTableGridSandwich(t *testing.T) {
 
 func TestTableHongKungConsistent(t *testing.T) {
 	cfg := tiny()
-	tab, err := TableHongKung(cfg) // internal soundness checks error out
+	tab, err := TableHongKung(context.Background(), cfg) // internal soundness checks error out
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -404,7 +405,7 @@ func TestComputeBoundsMatchesDirectSpectralBound(t *testing.T) {
 	// agree exactly with a direct Theorem 4 SpectralBound call.
 	cfg := tiny()
 	g := gen.FFT(4)
-	gb, err := computeBounds(cfg, g, false)
+	gb, err := computeBounds(context.Background(), cfg, g, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -423,7 +424,7 @@ func TestComputeBoundsMatchesDirectSpectralBound(t *testing.T) {
 
 func TestTableHierFloorsHold(t *testing.T) {
 	cfg := tiny()
-	tab, err := TableHier(cfg) // internal floor ≤ traffic checks error out
+	tab, err := TableHier(context.Background(), cfg) // internal floor ≤ traffic checks error out
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -435,7 +436,7 @@ func TestTableHierFloorsHold(t *testing.T) {
 func TestRunAllWritesFiles(t *testing.T) {
 	cfg := tiny()
 	dir := t.TempDir()
-	tables, err := RunAll(cfg, dir, []string{"fig11", "er"}, io.Discard)
+	tables, err := RunAll(context.Background(), cfg, dir, []string{"fig11", "er"}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -447,7 +448,7 @@ func TestRunAllWritesFiles(t *testing.T) {
 			t.Errorf("missing %s: %v", name, err)
 		}
 	}
-	if _, err := RunAll(cfg, "", []string{"nope"}, io.Discard); err == nil {
+	if _, err := RunAll(context.Background(), cfg, "", []string{"nope"}, io.Discard); err == nil {
 		t.Error("unknown experiment name accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -26,12 +27,12 @@ type graphBounds struct {
 
 // computeBounds runs the spectral eigensolve and (optionally) the min-cut
 // sweep once per graph.
-func computeBounds(cfg Config, g *graph.Graph, wantMinCut bool) (*graphBounds, error) {
+func computeBounds(ctx context.Context, cfg Config, g *graph.Graph, wantMinCut bool) (*graphBounds, error) {
 	gb := &graphBounds{g: g}
 	start := time.Now()
 	// Explicitly Theorem 4: spectralAt reapplies BoundFromEigenvalues with
 	// divisor 1, which is only sound for the normalized Laplacian.
-	res, err := core.SpectralBound(g, core.Options{
+	res, err := core.SpectralBoundContext(ctx, g, core.Options{
 		M: 1, MaxK: cfg.MaxK, Solver: cfg.Solver, Laplacian: laplacian.OutDegreeNormalized,
 	})
 	if err != nil {
@@ -44,7 +45,7 @@ func computeBounds(cfg Config, g *graph.Graph, wantMinCut bool) (*graphBounds, e
 		if cfg.MinCutMaxN > 0 && g.N() > cfg.MinCutMaxN {
 			gb.cutSkipped = true
 		} else {
-			mc, err := mincut.ConvexMinCutBound(g, mincut.Options{M: 1, Timeout: cfg.MinCutTimeout})
+			mc, err := mincut.ConvexMinCutBoundContext(ctx, g, mincut.Options{M: 1, Timeout: cfg.MinCutTimeout})
 			if err != nil {
 				return nil, fmt.Errorf("min-cut bound for %s: %w", g.Name(), err)
 			}
@@ -97,7 +98,7 @@ func mincutCell(gb *graphBounds, M int) string {
 // figureSweep builds the shared Figure 7/8/9/10 table shape: one row per
 // graph size, one spectral and one min-cut column per memory size, plus
 // the published-bound x-axis value used in the paper's linearity plots.
-func figureSweep(name, title, sizeLabel, xLabel string, sizes []int, memories []int,
+func figureSweep(ctx context.Context, name, title, sizeLabel, xLabel string, sizes []int, memories []int,
 	build func(int) *graph.Graph, xval func(int) float64, cfg Config) (*Table, error) {
 
 	cols := []string{sizeLabel, "n", xLabel}
@@ -111,7 +112,7 @@ func figureSweep(name, title, sizeLabel, xLabel string, sizes []int, memories []
 
 	for _, size := range sizes {
 		g := build(size)
-		gb, err := computeBounds(cfg, g, true)
+		gb, err := computeBounds(ctx, cfg, g, true)
 		if err != nil {
 			return nil, err
 		}
@@ -134,39 +135,39 @@ func figureSweep(name, title, sizeLabel, xLabel string, sizes []int, memories []
 
 // Figure7 regenerates the FFT sweep (paper Figure 7, both panels: bound vs
 // l and bound vs l·2^l).
-func Figure7(cfg Config, build func(int) *graph.Graph) (*Table, error) {
-	return figureSweep("fig7", "I/O bound vs l for 2^l-point FFT (spectral vs convex min-cut)",
+func Figure7(ctx context.Context, cfg Config, build func(int) *graph.Graph) (*Table, error) {
+	return figureSweep(ctx, "fig7", "I/O bound vs l for 2^l-point FFT (spectral vs convex min-cut)",
 		"l", "l*2^l", cfg.FFTLevels, cfg.FFTMemories, build,
 		func(l int) float64 { return float64(l) * math.Exp2(float64(l)) }, cfg)
 }
 
 // Figure8 regenerates the naive matrix multiplication sweep (paper
 // Figure 8: bound vs n and vs n³).
-func Figure8(cfg Config, build func(int) *graph.Graph) (*Table, error) {
-	return figureSweep("fig8", "I/O bound vs n for n×n naive matmul (spectral vs convex min-cut)",
+func Figure8(ctx context.Context, cfg Config, build func(int) *graph.Graph) (*Table, error) {
+	return figureSweep(ctx, "fig8", "I/O bound vs n for n×n naive matmul (spectral vs convex min-cut)",
 		"n", "n^3", cfg.MatMulSizes, cfg.MatMulMemories, build,
 		func(n int) float64 { return math.Pow(float64(n), 3) }, cfg)
 }
 
 // Figure9 regenerates the Strassen sweep (paper Figure 9: bound vs n and
 // vs n^(log2 7)).
-func Figure9(cfg Config, build func(int) *graph.Graph) (*Table, error) {
-	return figureSweep("fig9", "I/O bound vs n for n×n Strassen matmul (spectral vs convex min-cut)",
+func Figure9(ctx context.Context, cfg Config, build func(int) *graph.Graph) (*Table, error) {
+	return figureSweep(ctx, "fig9", "I/O bound vs n for n×n Strassen matmul (spectral vs convex min-cut)",
 		"n", "n^log2(7)", cfg.StrassenSizes, cfg.StrassenMemories, build,
 		func(n int) float64 { return math.Pow(float64(n), math.Log2(7)) }, cfg)
 }
 
 // Figure10 regenerates the Bellman–Held–Karp sweep (paper Figure 10: bound
 // vs l and vs 2^l/l).
-func Figure10(cfg Config, build func(int) *graph.Graph) (*Table, error) {
-	return figureSweep("fig10", "I/O bound vs l for l-city Bellman-Held-Karp TSP (spectral vs convex min-cut)",
+func Figure10(ctx context.Context, cfg Config, build func(int) *graph.Graph) (*Table, error) {
+	return figureSweep(ctx, "fig10", "I/O bound vs l for l-city Bellman-Held-Karp TSP (spectral vs convex min-cut)",
 		"l", "2^l/l", cfg.BHKCities, cfg.BHKMemories, build,
 		func(l int) float64 { return math.Exp2(float64(l)) / float64(l) }, cfg)
 }
 
 // Figure11 regenerates the runtime comparison (paper Figure 11: seconds to
 // compute the spectral vs the convex min-cut bound on Bellman–Held–Karp).
-func Figure11(cfg Config, build func(int) *graph.Graph) (*Table, error) {
+func Figure11(ctx context.Context, cfg Config, build func(int) *graph.Graph) (*Table, error) {
 	t := &Table{
 		Name:    "fig11",
 		Title:   "Runtime (s) for computing the lower bound on l-city Bellman-Held-Karp",
@@ -174,7 +175,7 @@ func Figure11(cfg Config, build func(int) *graph.Graph) (*Table, error) {
 	}
 	for _, l := range cfg.BHKCities {
 		g := build(l)
-		gb, err := computeBounds(cfg, g, true)
+		gb, err := computeBounds(ctx, cfg, g, true)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -11,7 +12,7 @@ import (
 func TestMinCutSkippedAboveSizeCap(t *testing.T) {
 	cfg := tiny()
 	cfg.MinCutMaxN = 10 // everything in the sweep is bigger
-	tab, err := Figure7(cfg, func(l int) *graph.Graph { return gen.FFT(l) })
+	tab, err := Figure7(context.Background(), cfg, func(l int) *graph.Graph { return gen.FFT(l) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func TestMinCutSkippedAboveSizeCap(t *testing.T) {
 func TestFigureColumnsShape(t *testing.T) {
 	cfg := tiny()
 	cfg.StrassenSizes = []int{2, 4}
-	tab, err := Figure9(cfg, func(n int) *graph.Graph { return gen.Strassen(n) })
+	tab, err := Figure9(context.Background(), cfg, func(n int) *graph.Graph { return gen.Strassen(n) })
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -15,7 +17,7 @@ import (
 // Runner names one experiment and how to produce its table.
 type Runner struct {
 	Name string
-	Run  func(Config) (*Table, error)
+	Run  func(context.Context, Config) (*Table, error)
 }
 
 // Runners returns every experiment in DESIGN.md's index (F7-F11, T1-T3,
@@ -26,11 +28,11 @@ func Runners() []Runner {
 	st := func(n int) *graph.Graph { return gen.Strassen(n) }
 	bhk := func(l int) *graph.Graph { return gen.BellmanHeldKarp(l) }
 	return []Runner{
-		{"fig7", func(c Config) (*Table, error) { return Figure7(c, fft) }},
-		{"fig8", func(c Config) (*Table, error) { return Figure8(c, mm) }},
-		{"fig9", func(c Config) (*Table, error) { return Figure9(c, st) }},
-		{"fig10", func(c Config) (*Table, error) { return Figure10(c, bhk) }},
-		{"fig11", func(c Config) (*Table, error) { return Figure11(c, bhk) }},
+		{"fig7", func(ctx context.Context, c Config) (*Table, error) { return Figure7(ctx, c, fft) }},
+		{"fig8", func(ctx context.Context, c Config) (*Table, error) { return Figure8(ctx, c, mm) }},
+		{"fig9", func(ctx context.Context, c Config) (*Table, error) { return Figure9(ctx, c, st) }},
+		{"fig10", func(ctx context.Context, c Config) (*Table, error) { return Figure10(ctx, c, bhk) }},
+		{"fig11", func(ctx context.Context, c Config) (*Table, error) { return Figure11(ctx, c, bhk) }},
 		{"hypercube", TableHypercube},
 		{"fft", TableFFT},
 		{"er", TableER},
@@ -52,8 +54,25 @@ func Runners() []Runner {
 // RunAll executes the selected experiments (all of them when names is
 // empty), writes <name>.csv per experiment plus a combined report.txt into
 // outDir (created if needed, skipped if empty), streams progress to log,
-// and returns the tables.
-func RunAll(cfg Config, outDir string, names []string, log io.Writer) ([]*Table, error) {
+// and returns the tables of the experiments that succeeded.
+//
+// A failing experiment no longer aborts the sweep: the remaining
+// experiments still run, a per-experiment error summary is printed at the
+// end, report.txt still covers every successful table, and the joined
+// failures come back as the error (so a CLI can exit non-zero while the
+// operator keeps all completed work). Cancelling ctx stops the sweep at
+// the next experiment boundary — and, via the contexts threaded into the
+// solvers, usually mid-experiment — with everything completed so far on
+// disk. Config.ExperimentTimeout, when positive, deadlines each experiment
+// individually; a timed-out experiment is reported as failed and the sweep
+// moves on.
+func RunAll(ctx context.Context, cfg Config, outDir string, names []string, log io.Writer) ([]*Table, error) {
+	return runRunners(ctx, cfg, outDir, names, log, Runners())
+}
+
+// runRunners is RunAll over an explicit runner set (tests substitute
+// failing, blocking, or instrumented runners).
+func runRunners(ctx context.Context, cfg Config, outDir string, names []string, log io.Writer, runners []Runner) ([]*Table, error) {
 	want := map[string]bool{}
 	for _, n := range names {
 		want[n] = true
@@ -63,15 +82,35 @@ func RunAll(cfg Config, outDir string, names []string, log io.Writer) ([]*Table,
 			return nil, err
 		}
 	}
+	type failure struct {
+		name string
+		err  error
+	}
 	var tables []*Table
-	for _, r := range Runners() {
+	var failures []failure
+	matched := 0
+	for _, r := range runners {
 		if len(want) > 0 && !want[r.Name] {
+			continue
+		}
+		matched++
+		if err := ctx.Err(); err != nil {
+			// The sweep itself was cancelled: stop starting experiments. The
+			// tables already produced stay valid and get reported below.
+			failures = append(failures, failure{r.Name, fmt.Errorf("not started: %w", err)})
+			obs.Inc("experiments.skipped")
 			continue
 		}
 		fmt.Fprintf(log, "== running %s\n", r.Name)
 		runStart := time.Now()
 		stop := heartbeat(cfg.Progress, r.Name, runStart)
-		t, err := r.Run(cfg)
+		ectx := ctx
+		cancel := context.CancelFunc(func() {})
+		if cfg.ExperimentTimeout > 0 {
+			ectx, cancel = context.WithTimeout(ctx, cfg.ExperimentTimeout)
+		}
+		t, err := r.Run(ectx, cfg)
+		cancel()
 		stop()
 		elapsed := time.Since(runStart)
 		obs.Observe("experiments."+r.Name, elapsed)
@@ -79,36 +118,49 @@ func RunAll(cfg Config, outDir string, names []string, log io.Writer) ([]*Table,
 			fmt.Fprintf(cfg.Progress, "experiments: %s done in %v\n", r.Name, elapsed.Round(time.Millisecond))
 		}
 		if err != nil {
-			return nil, fmt.Errorf("experiment %s: %w", r.Name, err)
+			failures = append(failures, failure{r.Name, err})
+			obs.Inc("experiments.failures")
+			fmt.Fprintf(log, "== %s FAILED after %v: %v\n\n", r.Name, elapsed.Round(time.Millisecond), err)
+			continue
 		}
 		tables = append(tables, t)
 		if err := t.WriteText(log); err != nil {
-			return nil, err
+			return tables, err
 		}
 		fmt.Fprintln(log)
 		// Persist each table as soon as it exists: long sweeps should not
-		// lose completed experiments to a crash or a kill.
+		// lose completed experiments to a crash, a kill, or a failure later
+		// in the sweep.
 		if outDir != "" {
 			if err := writeCSV(outDir, t); err != nil {
-				return nil, err
+				return tables, err
 			}
 		}
 	}
-	if len(tables) == 0 {
+	if matched == 0 {
 		return nil, fmt.Errorf("no experiment matches %v", names)
 	}
-	if outDir != "" {
+	if outDir != "" && len(tables) > 0 {
 		report, err := os.Create(filepath.Join(outDir, "report.txt"))
 		if err != nil {
-			return nil, err
+			return tables, err
 		}
 		defer report.Close()
 		for _, t := range tables {
 			if err := t.WriteText(report); err != nil {
-				return nil, err
+				return tables, err
 			}
 			fmt.Fprintln(report)
 		}
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(log, "== %d of %d experiment(s) failed:\n", len(failures), matched)
+		errs := make([]error, 0, len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(log, "==   %s: %v\n", f.name, f.err)
+			errs = append(errs, fmt.Errorf("experiment %s: %w", f.name, f.err))
+		}
+		return tables, errors.Join(errs...)
 	}
 	return tables, nil
 }

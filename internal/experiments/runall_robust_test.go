@@ -1,0 +1,170 @@
+package experiments
+
+// Failure-isolation and cancellation coverage for the sweep driver: a
+// failing or deadlined experiment must not take the rest of the sweep down,
+// and cancelling mid-sweep must leave every completed experiment's CSV (and
+// report.txt) on disk. These drive runRunners directly with synthetic
+// runners so failures are deterministic and instant.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func stubTable(name string) *Table {
+	t := &Table{Name: name, Title: "stub " + name, Columns: []string{"k", "v"}}
+	t.AddRow("1", "2")
+	return t
+}
+
+func okRunner(name string) Runner {
+	return Runner{Name: name, Run: func(ctx context.Context, cfg Config) (*Table, error) {
+		return stubTable(name), nil
+	}}
+}
+
+func TestRunAllContinuesPastFailure(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("synthetic solver blow-up")
+	runners := []Runner{
+		okRunner("alpha"),
+		{Name: "bad", Run: func(ctx context.Context, cfg Config) (*Table, error) {
+			return nil, boom
+		}},
+		okRunner("omega"),
+	}
+	var log bytes.Buffer
+	tables, err := runRunners(context.Background(), Config{}, dir, nil, &log, runners)
+	if err == nil {
+		t.Fatal("sweep with a failing experiment returned nil error")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want synthetic failure in chain", err)
+	}
+	if !strings.Contains(err.Error(), "experiment bad") {
+		t.Errorf("error %q does not name the failed experiment", err)
+	}
+	if len(tables) != 2 || tables[0].Name != "alpha" || tables[1].Name != "omega" {
+		t.Fatalf("tables = %v, want [alpha omega]", tableNames(tables))
+	}
+	for _, name := range []string{"alpha.csv", "omega.csv", "report.txt"} {
+		if _, statErr := os.Stat(filepath.Join(dir, name)); statErr != nil {
+			t.Errorf("missing %s after partial-failure sweep: %v", name, statErr)
+		}
+	}
+	if _, statErr := os.Stat(filepath.Join(dir, "bad.csv")); statErr == nil {
+		t.Error("bad.csv exists for a failed experiment")
+	}
+	report, readErr := os.ReadFile(filepath.Join(dir, "report.txt"))
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	for _, want := range []string{"stub alpha", "stub omega"} {
+		if !strings.Contains(string(report), want) {
+			t.Errorf("report.txt missing %q", want)
+		}
+	}
+	if !strings.Contains(log.String(), "1 of 3 experiment(s) failed") {
+		t.Errorf("log missing failure summary:\n%s", log.String())
+	}
+}
+
+func TestRunAllAppliesPerExperimentDeadline(t *testing.T) {
+	runners := []Runner{
+		{Name: "hung", Run: func(ctx context.Context, cfg Config) (*Table, error) {
+			// A well-behaved experiment blocked in a solve: it returns only
+			// when its per-experiment deadline fires.
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}},
+		okRunner("after"),
+	}
+	var log bytes.Buffer
+	cfg := Config{ExperimentTimeout: 20 * time.Millisecond}
+	tables, err := runRunners(context.Background(), cfg, "", nil, &log, runners)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want context.DeadlineExceeded in chain", err)
+	}
+	if len(tables) != 1 || tables[0].Name != "after" {
+		t.Fatalf("tables = %v: the experiment after the deadlined one must still run", tableNames(tables))
+	}
+}
+
+func TestRunAllCancellationKeepsCompletedCSVs(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runners := []Runner{
+		{Name: "first", Run: func(ctx context.Context, cfg Config) (*Table, error) {
+			return stubTable("first"), nil
+		}},
+		{Name: "second", Run: func(ctx context.Context, cfg Config) (*Table, error) {
+			// Simulates SIGINT landing mid-experiment: the sweep context is
+			// cancelled while this experiment is in flight.
+			cancel()
+			return nil, fmt.Errorf("solve interrupted: %w", ctx.Err())
+		}},
+		okRunner("never-started"),
+	}
+	var log bytes.Buffer
+	tables, err := runRunners(ctx, Config{}, dir, nil, &log, runners)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled in chain", err)
+	}
+	if !strings.Contains(err.Error(), "experiment never-started: not started") {
+		t.Errorf("error %q does not report the never-started experiment", err)
+	}
+	if len(tables) != 1 || tables[0].Name != "first" {
+		t.Fatalf("tables = %v, want just [first]", tableNames(tables))
+	}
+	// The acceptance bar: everything completed before the cancellation is on
+	// disk, including the report over the completed subset.
+	for _, name := range []string{"first.csv", "report.txt"} {
+		if _, statErr := os.Stat(filepath.Join(dir, name)); statErr != nil {
+			t.Errorf("missing %s after cancelled sweep: %v", name, statErr)
+		}
+	}
+	for _, name := range []string{"second.csv", "never-started.csv"} {
+		if _, statErr := os.Stat(filepath.Join(dir, name)); statErr == nil {
+			t.Errorf("%s exists for an uncompleted experiment", name)
+		}
+	}
+}
+
+func TestRunAllCancelledBeforeStartRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	started := false
+	runners := []Runner{
+		{Name: "only", Run: func(ctx context.Context, cfg Config) (*Table, error) {
+			started = true
+			return stubTable("only"), nil
+		}},
+	}
+	var log bytes.Buffer
+	tables, err := runRunners(ctx, Config{}, "", nil, &log, runners)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if started {
+		t.Error("experiment ran despite pre-cancelled context")
+	}
+	if len(tables) != 0 {
+		t.Errorf("tables = %v, want none", tableNames(tables))
+	}
+}
+
+func tableNames(ts []*Table) []string {
+	names := make([]string, len(ts))
+	for i, t := range ts {
+		names[i] = t.Name
+	}
+	return names
+}

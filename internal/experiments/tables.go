@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -17,7 +18,7 @@ import (
 // α = 1 bound, the α-optimized closed form evaluated from the exact
 // hypercube spectrum, and the solver-computed Theorem 5 bound, which must
 // agree with the closed form (same spectrum, same sweep).
-func TableHypercube(cfg Config) (*Table, error) {
+func TableHypercube(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		Name:    "hypercube",
 		Title:   "Bellman-Held-Karp closed forms (§5.1) vs computed bound (Theorem 5)",
@@ -26,13 +27,13 @@ func TableHypercube(cfg Config) (*Table, error) {
 	for _, l := range cfg.BHKCities {
 		g := gen.BellmanHeldKarp(l)
 		// One eigensolve per Laplacian kind serves every M.
-		r5, err := core.SpectralBound(g, core.Options{
+		r5, err := core.SpectralBoundContext(ctx, g, core.Options{
 			M: 1, MaxK: cfg.MaxK, Laplacian: laplacian.Original, Solver: cfg.Solver,
 		})
 		if err != nil {
 			return nil, err
 		}
-		r4, err := core.SpectralBound(g, core.Options{M: 1, MaxK: cfg.MaxK, Solver: cfg.Solver})
+		r4, err := core.SpectralBoundContext(ctx, g, core.Options{M: 1, MaxK: cfg.MaxK, Solver: cfg.Solver})
 		if err != nil {
 			return nil, err
 		}
@@ -55,7 +56,7 @@ func TableHypercube(cfg Config) (*Table, error) {
 // Theorem 7 butterfly spectrum, the computed bound, the published
 // asymptotically tight Hong–Kung bound, and the ratio between closed form
 // and Hong–Kung, which the paper shows is only a 1/log M factor.
-func TableFFT(cfg Config) (*Table, error) {
+func TableFFT(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		Name:  "fft",
 		Title: "FFT closed form (§5.2, Theorem 7 spectrum) vs computed bound vs Hong-Kung Ω(l·2^l/log M)",
@@ -89,7 +90,7 @@ func TableFFT(cfg Config) (*Table, error) {
 // TableER reproduces the §5.3 probabilistic analysis: sampled Erdős–Rényi
 // DAGs in the sparse regime p = p0·log n/(n−1) against the closed-form
 // prediction, and in the dense regime p = 1/2 against n/2 − 4M.
-func TableER(cfg Config) (*Table, error) {
+func TableER(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		Name:    "er",
 		Title:   "Erdős-Rényi bounds (§5.3): sampled spectral bound vs probabilistic closed form",
@@ -99,7 +100,7 @@ func TableER(cfg Config) (*Table, error) {
 	for _, n := range cfg.ERSizes {
 		p := cfg.ERP0 * math.Log(float64(n)) / float64(n-1)
 		g := gen.ErdosRenyiDAG(n, p, cfg.Seed)
-		res, err := core.SpectralBound(g, core.Options{
+		res, err := core.SpectralBoundContext(ctx, g, core.Options{
 			M: M, MaxK: cfg.MaxK, Laplacian: laplacian.Original, Solver: cfg.Solver,
 		})
 		if err != nil {
@@ -110,7 +111,7 @@ func TableER(cfg Config) (*Table, error) {
 	}
 	for _, n := range cfg.ERSizes {
 		g := gen.ErdosRenyiDAG(n, 0.5, cfg.Seed)
-		res, err := core.SpectralBound(g, core.Options{
+		res, err := core.SpectralBoundContext(ctx, g, core.Options{
 			M: M, MaxK: cfg.MaxK, Laplacian: laplacian.Original, Solver: cfg.Solver,
 		})
 		if err != nil {
@@ -124,7 +125,7 @@ func TableER(cfg Config) (*Table, error) {
 
 // TableSandwich is the validation table V1: for a spread of graphs, every
 // lower bound must sit below the best simulated schedule's I/O.
-func TableSandwich(cfg Config) (*Table, error) {
+func TableSandwich(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		Name:    "sandwich",
 		Title:   "Validation: lower bounds vs best simulated schedule (upper bound)",
@@ -146,21 +147,21 @@ func TableSandwich(cfg Config) (*Table, error) {
 			if g.MaxInDeg() > M {
 				continue
 			}
-			t4, err := core.SpectralBound(g, core.Options{M: M, MaxK: cfg.MaxK, Solver: cfg.Solver})
+			t4, err := core.SpectralBoundContext(ctx, g, core.Options{M: M, MaxK: cfg.MaxK, Solver: cfg.Solver})
 			if err != nil {
 				return nil, err
 			}
-			t5, err := core.SpectralBound(g, core.Options{
+			t5, err := core.SpectralBoundContext(ctx, g, core.Options{
 				M: M, MaxK: cfg.MaxK, Laplacian: laplacian.Original, Solver: cfg.Solver,
 			})
 			if err != nil {
 				return nil, err
 			}
-			mc, err := mincut.ConvexMinCutBound(g, mincut.Options{M: M, Timeout: cfg.MinCutTimeout})
+			mc, err := mincut.ConvexMinCutBoundContext(ctx, g, mincut.Options{M: M, Timeout: cfg.MinCutTimeout})
 			if err != nil {
 				return nil, err
 			}
-			ub, _, name, err := pebble.BestOrder(g, M, pebble.Belady, cfg.SandwichSamples, cfg.Seed)
+			ub, _, name, err := pebble.BestOrderContext(ctx, g, M, pebble.Belady, cfg.SandwichSamples, cfg.Seed)
 			if err != nil {
 				return nil, err
 			}
@@ -178,7 +179,7 @@ func TableSandwich(cfg Config) (*Table, error) {
 // TableBestK is the §6.5 ablation: the k maximizing the bound stays far
 // below the h = 100 cap across families and memory sizes, which is why
 // computing 100 eigenvalues loses nothing.
-func TableBestK(cfg Config) (*Table, error) {
+func TableBestK(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		Name:    "bestk",
 		Title:   "Ablation (§6.5): maximizing k per graph and memory size (h cap = MaxK)",
@@ -197,7 +198,7 @@ func TableBestK(cfg Config) (*Table, error) {
 	}
 	for _, e := range entries {
 		// One eigensolve per graph serves every M.
-		res, err := core.SpectralBound(e.g, core.Options{M: 1, MaxK: cfg.MaxK, Solver: cfg.Solver})
+		res, err := core.SpectralBoundContext(ctx, e.g, core.Options{M: 1, MaxK: cfg.MaxK, Solver: cfg.Solver})
 		if err != nil {
 			return nil, err
 		}
@@ -216,7 +217,7 @@ func TableBestK(cfg Config) (*Table, error) {
 // TableThm4vs5 is the §4.3 ablation: how much tightness the out-degree-
 // normalized Laplacian (Theorem 4) buys over the original Laplacian with
 // the max-out-degree division (Theorem 5).
-func TableThm4vs5(cfg Config) (*Table, error) {
+func TableThm4vs5(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		Name:    "thm4vs5",
 		Title:   "Ablation (§4.3): Theorem 4 (normalized L̃) vs Theorem 5 (L / max out-degree)",
@@ -233,11 +234,11 @@ func TableThm4vs5(cfg Config) (*Table, error) {
 			if g.MaxInDeg() > M {
 				continue
 			}
-			t4, err := core.SpectralBound(g, core.Options{M: M, MaxK: cfg.MaxK, Solver: cfg.Solver})
+			t4, err := core.SpectralBoundContext(ctx, g, core.Options{M: M, MaxK: cfg.MaxK, Solver: cfg.Solver})
 			if err != nil {
 				return nil, err
 			}
-			t5, err := core.SpectralBound(g, core.Options{
+			t5, err := core.SpectralBoundContext(ctx, g, core.Options{
 				M: M, MaxK: cfg.MaxK, Laplacian: laplacian.Original, Solver: cfg.Solver,
 			})
 			if err != nil {

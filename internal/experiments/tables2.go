@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -18,7 +19,7 @@ import (
 // TableParallel sweeps the Theorem 6 parallel bound over processor counts:
 // the per-processor certificate decays with p but stays nontrivial while
 // ⌊n/(kp)⌋ is large (§4.4).
-func TableParallel(cfg Config) (*Table, error) {
+func TableParallel(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		Name:    "parallel",
 		Title:   "Parallel spectral bound (Theorem 6): busiest-processor I/O vs processor count",
@@ -37,7 +38,7 @@ func TableParallel(cfg Config) (*Table, error) {
 		}
 		row := []string{g.Name(), inum(g.N()), inum(M)}
 		// One eigensolve serves every p.
-		res, err := core.SpectralBound(g, core.Options{M: M, MaxK: cfg.MaxK, Solver: cfg.Solver})
+		res, err := core.SpectralBoundContext(ctx, g, core.Options{M: M, MaxK: cfg.MaxK, Solver: cfg.Solver})
 		if err != nil {
 			return nil, err
 		}
@@ -59,7 +60,7 @@ func TableParallel(cfg Config) (*Table, error) {
 // baseline's suggested partitioned variant (2M-vertex parts) collapses to
 // trivial bounds on complex computation graphs, which is why the paper —
 // and Figures 7-10 here — plot the whole-graph variant.
-func TablePartitionedMinCut(cfg Config) (*Table, error) {
+func TablePartitionedMinCut(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		Name:    "mincut-partitioned",
 		Title:   "Ablation (§6.3): whole-graph vs partitioned convex min-cut (parts ≤ 2M vertices)",
@@ -76,7 +77,7 @@ func TablePartitionedMinCut(cfg Config) (*Table, error) {
 		if g.MaxInDeg() > M {
 			M = g.MaxInDeg()
 		}
-		whole, err := mincut.ConvexMinCutBound(g, mincut.Options{M: M, Timeout: cfg.MinCutTimeout})
+		whole, err := mincut.ConvexMinCutBoundContext(ctx, g, mincut.Options{M: M, Timeout: cfg.MinCutTimeout})
 		if err != nil {
 			return nil, err
 		}
@@ -98,7 +99,7 @@ func TablePartitionedMinCut(cfg Config) (*Table, error) {
 // simulator: Kahn vs DFS vs the greedy frontier scheduler vs the best of a
 // random sample, all against the spectral lower bound. The gap between the
 // best schedule and the bound brackets J*.
-func TableScheduler(cfg Config) (*Table, error) {
+func TableScheduler(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		Name:  "scheduler",
 		Title: "Schedule sensitivity: simulated I/O by order heuristic vs spectral lower bound (Belady eviction)",
@@ -117,12 +118,12 @@ func TableScheduler(cfg Config) (*Table, error) {
 		if g.MaxInDeg() > M {
 			M = g.MaxInDeg()
 		}
-		lower, err := core.SpectralBound(g, core.Options{M: M, MaxK: cfg.MaxK, Solver: cfg.Solver})
+		lower, err := core.SpectralBoundContext(ctx, g, core.Options{M: M, MaxK: cfg.MaxK, Solver: cfg.Solver})
 		if err != nil {
 			return nil, err
 		}
 		sim := func(order []int) (string, int, error) {
-			res, err := pebble.Simulate(g, order, M, pebble.Belady)
+			res, err := pebble.SimulateContext(ctx, g, order, M, pebble.Belady)
 			if err != nil {
 				return "", 0, err
 			}
@@ -148,7 +149,7 @@ func TableScheduler(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rnd, _, _, err := pebble.BestOrder(g, M, pebble.Belady, cfg.SandwichSamples, cfg.Seed)
+		rnd, _, _, err := pebble.BestOrderContext(ctx, g, M, pebble.Belady, cfg.SandwichSamples, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -175,7 +176,7 @@ func minInt(a, b int) int {
 // schedule are against it. This is ground truth the paper could not
 // include (it calls exact approaches intractable — true at scale; at a
 // dozen vertices the state space is searchable).
-func TableExact(cfg Config) (*Table, error) {
+func TableExact(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		Name:    "exact",
 		Title:   "Ground truth on tiny graphs: exact J* vs lower bounds vs best simulated schedule",
@@ -194,19 +195,19 @@ func TableExact(cfg Config) (*Table, error) {
 			if g.MaxInDeg() > M {
 				continue
 			}
-			exact, err := redblue.Optimal(g, M, redblue.Options{})
+			exact, err := redblue.OptimalContext(ctx, g, M, redblue.Options{})
 			if err != nil {
 				return nil, err
 			}
-			t4, err := core.SpectralBound(g, core.Options{M: M, MaxK: cfg.MaxK, Solver: core.SolverDense})
+			t4, err := core.SpectralBoundContext(ctx, g, core.Options{M: M, MaxK: cfg.MaxK, Solver: core.SolverDense})
 			if err != nil {
 				return nil, err
 			}
-			mc, err := mincut.ConvexMinCutBound(g, mincut.Options{M: M})
+			mc, err := mincut.ConvexMinCutBoundContext(ctx, g, mincut.Options{M: M})
 			if err != nil {
 				return nil, err
 			}
-			sim, _, _, err := pebble.BestOrder(g, M, pebble.Belady, cfg.SandwichSamples, cfg.Seed)
+			sim, _, _, err := pebble.BestOrderContext(ctx, g, M, pebble.Belady, cfg.SandwichSamples, cfg.Seed)
 			if err != nil {
 				return nil, err
 			}
@@ -227,7 +228,7 @@ func TableExact(cfg Config) (*Table, error) {
 // connectivity λ2 of sampled Erdős–Rényi graphs against the
 // Kolokolnikov et al. prediction p0·log n·(1 − sqrt(2/p0)) used inside the
 // sparse-regime bound.
-func TableLambda2(cfg Config) (*Table, error) {
+func TableLambda2(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		Name:    "lambda2",
 		Title:   "Erdős-Rényi algebraic connectivity: sampled λ2 vs §5.3 prediction",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"graphio/internal/analytic"
@@ -20,7 +21,7 @@ import (
 // [λ2/2, sqrt(2·dmax·λ2)], a Fiedler sweep cut realizes a concrete cut
 // inside that interval, and the k-sweep spectral bound dominates what λ2
 // alone (k = 2, the expansion-style argument) certifies.
-func TableExpansion(cfg Config) (*Table, error) {
+func TableExpansion(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		Name:  "expansion",
 		Title: "Edge expansion vs spectral: Cheeger interval, sweep cut, and k=2 vs full k-sweep bounds (M=4)",
@@ -56,7 +57,7 @@ func TableExpansion(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.SpectralBound(g, core.Options{
+		res, err := core.SpectralBoundContext(ctx, g, core.Options{
 			M: M, MaxK: cfg.MaxK, Laplacian: laplacian.Original, Solver: cfg.Solver,
 		})
 		if err != nil {
@@ -81,7 +82,7 @@ func TableExpansion(cfg Config) (*Table, error) {
 // Hong-Kung 2S-partition bound against the exact *total* optimum. This is
 // the comparison the paper's §2/§6.3 leaves open ("the ILP based method is
 // intractable") — tractable here because the graphs are tiny.
-func TableHongKung(cfg Config) (*Table, error) {
+func TableHongKung(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		Name:  "hongkung",
 		Title: "Toy-scale method comparison vs exact optima (HK bounds total I/O; spectral/min-cut bound non-trivial I/O)",
@@ -101,15 +102,15 @@ func TableHongKung(cfg Config) (*Table, error) {
 			if g.MaxInDeg() > M {
 				continue
 			}
-			spec, err := core.SpectralBound(g, core.Options{M: M, MaxK: cfg.MaxK, Solver: core.SolverDense})
+			spec, err := core.SpectralBoundContext(ctx, g, core.Options{M: M, MaxK: cfg.MaxK, Solver: core.SolverDense})
 			if err != nil {
 				return nil, err
 			}
-			mc, err := mincut.ConvexMinCutBound(g, mincut.Options{M: M})
+			mc, err := mincut.ConvexMinCutBoundContext(ctx, g, mincut.Options{M: M})
 			if err != nil {
 				return nil, err
 			}
-			exactNT, err := redblue.Optimal(g, M, redblue.Options{})
+			exactNT, err := redblue.OptimalContext(ctx, g, M, redblue.Options{})
 			if err != nil {
 				return nil, err
 			}
@@ -117,7 +118,7 @@ func TableHongKung(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			exactT, err := redblue.Optimal(g, M, redblue.Options{CountTrivial: true})
+			exactT, err := redblue.OptimalContext(ctx, g, M, redblue.Options{CountTrivial: true})
 			if err != nil {
 				return nil, err
 			}
@@ -140,7 +141,7 @@ func TableHongKung(cfg Config) (*Table, error) {
 // analytic. Stencils have small spectral gaps, so the certified floor is
 // far below the simulated schedules — an honest negative result that marks
 // the method's boundary.
-func TableGrid(cfg Config) (*Table, error) {
+func TableGrid(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		Name:    "grid",
 		Title:   "2-D stencil (extension): closed-form Theorem 5 bound vs computed vs simulated schedules",
@@ -150,15 +151,15 @@ func TableGrid(cfg Config) (*Table, error) {
 		g := gen.Grid2D(side, side)
 		for _, M := range []int{4, 8} {
 			closed, _ := analytic.GridBound(side, side, M, cfg.MaxK)
-			res, err := core.SpectralBound(g, core.Options{M: M, MaxK: cfg.MaxK, Solver: cfg.Solver})
+			res, err := core.SpectralBoundContext(ctx, g, core.Options{M: M, MaxK: cfg.MaxK, Solver: cfg.Solver})
 			if err != nil {
 				return nil, err
 			}
-			fr, err := pebble.Simulate(g, pebble.FrontierOrder(g), M, pebble.Belady)
+			fr, err := pebble.SimulateContext(ctx, g, pebble.FrontierOrder(g), M, pebble.Belady)
 			if err != nil {
 				return nil, err
 			}
-			kahn, err := pebble.Simulate(g, g.TopoOrder(), M, pebble.Belady)
+			kahn, err := pebble.SimulateContext(ctx, g, g.TopoOrder(), M, pebble.Belady)
 			if err != nil {
 				return nil, err
 			}

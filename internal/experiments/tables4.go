@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"graphio/internal/core"
@@ -13,7 +14,7 @@ import (
 // TableHier demonstrates the multi-level extension: per-boundary spectral
 // floors (cumulative capacities) against the traffic a simulated schedule
 // actually pushes across each boundary of a three-level hierarchy.
-func TableHier(cfg Config) (*Table, error) {
+func TableHier(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		Name:  "hier",
 		Title: "Multi-level hierarchy (extension): per-boundary spectral floors vs simulated transfers (3 levels)",

@@ -1,0 +1,90 @@
+package faultinject
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// ident is a 3-dimensional identity operator.
+type ident struct{}
+
+func (ident) Dim() int { return 3 }
+func (ident) MatVec(dst, src []float64) {
+	copy(dst, src)
+}
+
+func apply(op *Op) []float64 {
+	dst := make([]float64, 3)
+	op.MatVec(dst, []float64{1, 2, 3})
+	return dst
+}
+
+func TestThresholdsAreOneBasedAndCounted(t *testing.T) {
+	op := &Op{A: ident{}, NaNFrom: 2}
+	if out := apply(op); math.IsNaN(out[0]) || math.IsNaN(out[1]) || math.IsNaN(out[2]) {
+		t.Fatalf("call 1 faulted before NaNFrom=2: %v", out)
+	}
+	out := apply(op)
+	nans := 0
+	for _, v := range out {
+		if math.IsNaN(v) {
+			nans++
+		}
+	}
+	if nans != 1 {
+		t.Fatalf("call 2 injected %d NaNs, want exactly 1: %v", nans, out)
+	}
+	if op.Calls() != 2 || op.Faults() != 1 {
+		t.Errorf("Calls = %d, Faults = %d, want 2 and 1", op.Calls(), op.Faults())
+	}
+}
+
+func TestUntilWindowCloses(t *testing.T) {
+	op := &Op{A: ident{}, InfFrom: 1, Until: 2}
+	for i := 0; i < 2; i++ {
+		out := apply(op)
+		if !math.IsInf(out[int(op.Calls())%3], 1) {
+			t.Fatalf("call %d inside the window not poisoned: %v", i+1, out)
+		}
+	}
+	out := apply(op)
+	for i, v := range out {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("call 3 is past Until=2 but out[%d] = %v", i, v)
+		}
+	}
+	if op.Faults() != 2 {
+		t.Errorf("Faults = %d, want 2", op.Faults())
+	}
+}
+
+func TestNoiseIsDeterministicAndFinite(t *testing.T) {
+	a := &Op{A: ident{}, NoiseFrom: 1, NoiseAmp: 5}
+	b := &Op{A: ident{}, NoiseFrom: 1, NoiseAmp: 5}
+	for call := 0; call < 4; call++ {
+		outA, outB := apply(a), apply(b)
+		for i := range outA {
+			if outA[i] != outB[i] {
+				t.Fatalf("call %d element %d differs across identical injectors: %v vs %v",
+					call+1, i, outA[i], outB[i])
+			}
+			if math.IsNaN(outA[i]) || math.IsInf(outA[i], 0) {
+				t.Fatalf("noise produced a non-finite value: %v", outA[i])
+			}
+			clean := float64(i + 1)
+			if d := math.Abs(outA[i] - clean); d == 0 || d > 5 {
+				t.Fatalf("noise delta %v outside (0, NoiseAmp]", d)
+			}
+		}
+	}
+}
+
+func TestStallSleepsPerCall(t *testing.T) {
+	op := &Op{A: ident{}, StallFrom: 1, Stall: 5 * time.Millisecond}
+	start := time.Now()
+	apply(op)
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Errorf("stalled call returned in %v, want ≥ 5ms", elapsed)
+	}
+}

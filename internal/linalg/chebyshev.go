@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -73,6 +74,14 @@ func (o *ChebOptions) withDefaults(n, h int) ChebOptions {
 // eigenvalues (butterflies, hypercubes) where single-vector Lanczos needs
 // one restart per eigenvalue copy.
 func ChebFilteredSmallest(A Operator, c float64, h int, opt *ChebOptions) ([]float64, error) {
+	return ChebFilteredSmallestContext(context.Background(), A, c, h, opt)
+}
+
+// ChebFilteredSmallestContext is ChebFilteredSmallest with cooperative
+// cancellation: ctx is checked at every sweep boundary and between filtered
+// columns, so a deadline or cancellation interrupts the solve without
+// waiting for the full subspace iteration to run its course.
+func ChebFilteredSmallestContext(ctx context.Context, A Operator, c float64, h int, opt *ChebOptions) ([]float64, error) {
 	n := A.Dim()
 	if h <= 0 {
 		return nil, errors.New("linalg: ChebFilteredSmallest: h must be positive")
@@ -115,7 +124,10 @@ func ChebFilteredSmallest(A Operator, c float64, h int, opt *ChebOptions) ([]flo
 
 	// Pilot cut point from a short Lanczos run: roughly where the h-th
 	// smallest eigenvalue sits. Adapted every iteration afterwards.
-	aCut := pilotCut(A, c, h, rng)
+	aCut := pilotCut(ctx, A, c, h, rng)
+	if err := ctxErr(ctx, "Chebyshev"); err != nil {
+		return nil, err
+	}
 
 	var theta []float64
 	var resid []float64
@@ -141,6 +153,9 @@ func ChebFilteredSmallest(A Operator, c float64, h int, opt *ChebOptions) ([]flo
 	}()
 
 	for iter := 0; iter < o.MaxIter; iter++ {
+		if err := ctxErr(ctx, "Chebyshev"); err != nil {
+			return nil, err
+		}
 		sweeps++
 		// Precision cap on the filter degree: the amplification ratio
 		// between the bottom of the spectrum and the cut grows like
@@ -162,7 +177,10 @@ func ChebFilteredSmallest(A Operator, c float64, h int, opt *ChebOptions) ([]flo
 		}
 		// Filter the block: X ← p(A)·X with p the scaled Chebyshev
 		// polynomial on [aCut, c].
-		chebFilterBlock(A, X, aCut, c, degEff)
+		chebFilterBlock(ctx, A, X, aCut, c, degEff)
+		if err := ctxErr(ctx, "Chebyshev"); err != nil {
+			return nil, err // the filter bailed out mid-block
+		}
 		orthonormalizeBlock(X, rng)
 		b = len(X)
 
@@ -185,6 +203,12 @@ func ChebFilteredSmallest(A Operator, c float64, h int, opt *ChebOptions) ([]flo
 				}
 			}
 		})
+		if err := CheckFinite("Chebyshev Gram matrix", H.Data); err != nil {
+			// A poisoned mat-vec (NaN/Inf leak) shows up in the projected
+			// matrix before anywhere else; fail typed instead of feeding the
+			// dense eigensolver garbage.
+			return nil, err
+		}
 		vals, S, err := SymEig(H, true)
 		if err != nil {
 			return nil, fmt.Errorf("linalg: Chebyshev Rayleigh-Ritz: %w", err)
@@ -294,7 +318,17 @@ func ChebFilteredSmallest(A Operator, c float64, h int, opt *ChebOptions) ([]flo
 		p++
 	}
 	if p == 0 {
-		return nil, fmt.Errorf("linalg: Chebyshev subspace iteration converged nothing in %d sweeps", o.MaxIter)
+		return nil, &NotConvergedError{
+			Solver: "Chebyshev", Requested: h, Converged: 0,
+			Reason: fmt.Sprintf("no Ritz pair converged in %d sweeps", o.MaxIter),
+		}
+	}
+	// Partial convergence: pad the tail soundly (see above) and count the
+	// degradation so an operator can see that a run returned a padded —
+	// valid but weaker at large k — spectrum.
+	obs.Add("linalg.cheb.padded_tail", int64(h-p))
+	if h > p {
+		obs.Inc("linalg.cheb.padded_solves")
 	}
 	out := make([]float64, h)
 	copy(out, theta[:p])
@@ -315,8 +349,10 @@ func clampSpectrum(vals []float64, scale float64) []float64 {
 }
 
 // pilotCut estimates where the h-th smallest eigenvalue lies using a short
-// Lanczos run; a rough value suffices (the main loop re-adapts it).
-func pilotCut(A Operator, c float64, h int, rng *rand.Rand) float64 {
+// Lanczos run; a rough value suffices (the main loop re-adapts it). A
+// cancelled ctx cuts the pilot short; the fallback c/2 estimate is fine
+// because the caller aborts at its next boundary check anyway.
+func pilotCut(ctx context.Context, A Operator, c float64, h int, rng *rand.Rand) float64 {
 	n := A.Dim()
 	m := 60
 	if m > n {
@@ -334,6 +370,9 @@ func pilotCut(A Operator, c float64, h int, rng *rand.Rand) float64 {
 	beta := make([]float64, 0, m)
 	w := make([]float64, n)
 	for j := 0; j < m; j++ {
+		if ctx.Err() != nil {
+			return c / 2
+		}
 		V = append(V, v)
 		A.MatVec(w, v)
 		if j > 0 {
@@ -354,7 +393,7 @@ func pilotCut(A Operator, c float64, h int, rng *rand.Rand) float64 {
 		v = nv
 	}
 	vals, _, err := TridiagEig(alpha, beta[:len(alpha)-1], false)
-	if err != nil || len(vals) == 0 {
+	if err != nil || len(vals) == 0 || !isFinite(vals[len(vals)/4]) {
 		return c / 2
 	}
 	// Ritz values of a short run overestimate the low end; take an early
@@ -376,8 +415,9 @@ func pilotCut(A Operator, c float64, h int, rng *rand.Rand) float64 {
 // [a, c] to [−1, 1]. Columns are rescaled each step to dodge overflow (the
 // amplification at the low end is exponential in d). Columns are
 // independent, so they are filtered by a pool of workers; each worker
-// carries its own recurrence buffers.
-func chebFilterBlock(A Operator, X [][]float64, a, c float64, degree int) {
+// carries its own recurrence buffers. Cancelling ctx makes workers stop
+// between columns; the caller re-checks ctx after the block returns.
+func chebFilterBlock(ctx context.Context, A Operator, X [][]float64, a, c float64, degree int) {
 	n := A.Dim()
 	e := (c - a) / 2
 	mid := (c + a) / 2
@@ -386,6 +426,9 @@ func chebFilterBlock(A Operator, X [][]float64, a, c float64, degree int) {
 		prev := make([]float64, n)
 		cur := make([]float64, n)
 		for col := lo; col < hi; col++ {
+			if ctx.Err() != nil {
+				return
+			}
 			x := X[col]
 			copy(prev, x) // T_0 · x
 			// T_1 · x = (A − mid)x / e

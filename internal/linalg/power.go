@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -41,6 +42,13 @@ func (o *PowerOptions) withDefaults() PowerOptions {
 // convergence is linear in the eigenvalue gap ratio. Prefer SmallestEigsPSD;
 // this exists as an independent cross-check and a fallback.
 func PowerSmallestPSD(A Operator, c float64, h int, opt *PowerOptions) ([]float64, error) {
+	return PowerSmallestPSDContext(context.Background(), A, c, h, opt)
+}
+
+// PowerSmallestPSDContext is PowerSmallestPSD with cancellation: ctx is
+// checked every iteration, and a cancelled or expired context aborts the
+// solve with the wrapped ctx error.
+func PowerSmallestPSDContext(ctx context.Context, A Operator, c float64, h int, opt *PowerOptions) ([]float64, error) {
 	n := A.Dim()
 	if h <= 0 {
 		return nil, errors.New("linalg: PowerSmallestPSD: h must be positive")
@@ -89,11 +97,17 @@ func PowerSmallestPSD(A Operator, c float64, h int, opt *PowerOptions) ([]float6
 		theta := 0.0
 		converged := false
 		for iter := 0; iter < o.MaxIter; iter++ {
+			if err := ctxErr(ctx, "power"); err != nil {
+				return nil, err
+			}
 			totalIters++
 			B.MatVec(bv, v)
 			// Deflate: keep the iterate in the complement of locked space.
 			OrthogonalizeAgainst(bv, locked)
 			theta = Dot(bv, v)
+			if !isFinite(theta) {
+				return nil, &NonFiniteError{Where: "power iteration step"}
+			}
 			copy(resid, bv)
 			Axpy(-theta, v, resid)
 			if Norm2(resid) <= tol {
@@ -110,11 +124,27 @@ func PowerSmallestPSD(A Operator, c float64, h int, opt *PowerOptions) ([]float6
 			v, bv = bv, v
 		}
 		if !converged {
-			return nil, fmt.Errorf("linalg: power iteration failed to converge for eigenpair %d (h=%d)", len(locked), h)
+			partial := append([]float64(nil), vals...)
+			insertionSort(partial)
+			return nil, &NotConvergedError{
+				Solver:    "power",
+				Requested: h,
+				Converged: len(locked),
+				Partial:   partial,
+				Reason:    fmt.Sprintf("iteration budget %d exhausted on eigenpair %d", o.MaxIter, len(locked)),
+			}
 		}
 		// theta approximates the largest eigenvalue of B in the complement.
 		if Normalize(v) == 0 {
-			return nil, errors.New("linalg: power iteration produced a zero Ritz vector")
+			partial := append([]float64(nil), vals...)
+			insertionSort(partial)
+			return nil, &NotConvergedError{
+				Solver:    "power",
+				Requested: h,
+				Converged: len(locked),
+				Partial:   partial,
+				Reason:    fmt.Sprintf("zero Ritz vector on eigenpair %d", len(locked)),
+			}
 		}
 		locked = append(locked, v)
 		vals = append(vals, c-theta)

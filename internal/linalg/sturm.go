@@ -25,6 +25,14 @@ func TridiagEigBisect(diag, sub []float64, lo, hi int) ([]float64, error) {
 	if lo < 0 || hi >= n || lo > hi {
 		return nil, errors.New("linalg: TridiagEigBisect: index range out of bounds")
 	}
+	// A NaN/Inf entry would silently corrupt the Sturm counts (NaN
+	// comparisons are all false), so reject contaminated input up front.
+	if err := CheckFinite("TridiagEigBisect diag input", diag); err != nil {
+		return nil, err
+	}
+	if err := CheckFinite("TridiagEigBisect sub input", sub); err != nil {
+		return nil, err
+	}
 
 	// Gershgorin interval enclosing the whole spectrum.
 	gLo, gHi := math.Inf(1), math.Inf(-1)
@@ -51,6 +59,15 @@ func TridiagEigBisect(diag, sub []float64, lo, hi int) ([]float64, error) {
 	// cannot lose an eigenvalue.
 	gLo -= 1e-12*scale + 1e-300
 	gHi += 1e-12*scale + 1e-300
+	// Entries near ±MaxFloat64 can overflow the interval arithmetic (or the
+	// guard above); the bisection only needs finite endpoints, so clamp to
+	// the representable range.
+	if math.IsInf(gLo, 0) {
+		gLo = -math.MaxFloat64
+	}
+	if math.IsInf(gHi, 0) {
+		gHi = math.MaxFloat64
+	}
 
 	// sturmCount returns the number of eigenvalues strictly below sigma.
 	sub2 := make([]float64, n)
@@ -78,7 +95,7 @@ func TridiagEigBisect(diag, sub []float64, lo, hi int) ([]float64, error) {
 		a, b := gLo, gHi
 		// Invariant: count(a) ≤ idx < count(b).
 		for iter := 0; iter < 200; iter++ {
-			mid := 0.5 * (a + b)
+			mid := 0.5*a + 0.5*b // overflow-safe: a+b can exceed MaxFloat64
 			if mid == a || mid == b {
 				break
 			}
@@ -91,7 +108,7 @@ func TridiagEigBisect(diag, sub []float64, lo, hi int) ([]float64, error) {
 				break
 			}
 		}
-		out = append(out, 0.5*(a+b))
+		out = append(out, 0.5*a+0.5*b)
 	}
 	return out, nil
 }

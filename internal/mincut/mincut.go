@@ -24,6 +24,7 @@
 package mincut
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sort"
@@ -67,6 +68,10 @@ type Result struct {
 	Evaluated int
 	// TimedOut reports whether the sweep stopped on Options.Timeout.
 	TimedOut bool
+	// Interrupted reports whether the sweep stopped on context
+	// cancellation. Like TimedOut, the bound over the vertices evaluated so
+	// far is still valid, just possibly weaker.
+	Interrupted bool
 	// Elapsed is the total sweep time.
 	Elapsed time.Duration
 }
@@ -152,6 +157,14 @@ func frontierUpperBound(g *graph.Graph, v int) int64 {
 // the best cut found, so typical runs evaluate far fewer than n flows while
 // returning the same maximum.
 func ConvexMinCutBound(g *graph.Graph, opt Options) (*Result, error) {
+	return ConvexMinCutBoundContext(context.Background(), g, opt)
+}
+
+// ConvexMinCutBoundContext is ConvexMinCutBound with cancellation: a
+// cancelled or expired context stops the sweep like Options.Timeout does,
+// returning the (valid, possibly weaker) bound over the vertices evaluated
+// so far with Result.Interrupted set rather than an error.
+func ConvexMinCutBoundContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, error) {
 	if opt.M < 1 {
 		return nil, errors.New("mincut: Options.M must be ≥ 1")
 	}
@@ -174,10 +187,16 @@ func ConvexMinCutBound(g *graph.Graph, opt Options) (*Result, error) {
 			continue // sinks have no descendants: C = 0
 		}
 		// The upper-bound pass is itself O(n·(n+m)); honour the time box
-		// here too, and rank whatever prefix was scored.
-		if opt.Timeout > 0 && v%256 == 0 && time.Since(start) > opt.Timeout/2 {
-			res.TimedOut = true
-			break
+		// and the context here too, and rank whatever prefix was scored.
+		if v%256 == 0 {
+			if opt.Timeout > 0 && time.Since(start) > opt.Timeout/2 {
+				res.TimedOut = true
+				break
+			}
+			if ctx.Err() != nil {
+				res.Interrupted = true
+				break
+			}
 		}
 		cands = append(cands, cand{v, frontierUpperBound(g, v)})
 	}
@@ -231,6 +250,12 @@ func ConvexMinCutBound(g *graph.Graph, opt Options) (*Result, error) {
 					mu.Unlock()
 					return
 				}
+				if ctx.Err() != nil {
+					mu.Lock()
+					res.Interrupted = true
+					mu.Unlock()
+					return
+				}
 				c := cands[i]
 				mu.Lock()
 				done := c.ub <= bestCut || firstErr != nil
@@ -279,9 +304,16 @@ func ConvexMinCutBound(g *graph.Graph, opt Options) (*Result, error) {
 		if res.TimedOut {
 			obs.Inc("mincut.timeouts")
 		}
+		if res.Interrupted {
+			obs.Inc("mincut.interrupts")
+		}
 	}
 	if res.TimedOut {
 		obs.Logf("mincut: timed out after %v with %d/%d flows evaluated (bound is valid but possibly weaker)",
+			res.Elapsed.Round(time.Millisecond), res.Evaluated, limit)
+	}
+	if res.Interrupted {
+		obs.Logf("mincut: interrupted after %v with %d/%d flows evaluated (bound is valid but possibly weaker)",
 			res.Elapsed.Round(time.Millisecond), res.Evaluated, limit)
 	}
 	sp.SetInt("evaluated", int64(res.Evaluated))

@@ -23,9 +23,14 @@ import (
 //	-cpuprofile F    runtime/pprof CPU profile
 //	-memprofile F    runtime/pprof heap profile (captured at exit)
 //
-// Begin also installs a SIGINT/SIGTERM handler that flushes everything
-// above before exiting non-zero, so interrupting a long sweep keeps its
-// telemetry instead of losing the whole run.
+//	-timeout D       global wall-clock budget (Context deadline; 0 = none)
+//
+// Begin also installs a SIGINT/SIGTERM handler. The first signal cancels
+// Context() and lets the pipeline wind down on its own — in-flight solves
+// notice the cancellation at their next iteration boundary, completed
+// output stays on disk, and the command's own exit path flushes telemetry
+// through Finish. A second signal stops waiting: it flushes immediately
+// and exits 130.
 type CLI struct {
 	Verbose    bool
 	MetricsOut string
@@ -33,15 +38,17 @@ type CLI struct {
 	DebugAddr  string
 	CPUProfile string
 	MemProfile string
+	Timeout    time.Duration
 
-	stopCPU    func() error
-	stopHTTP   func() error
-	sigStop    context.CancelFunc
-	ctx        context.Context
-	start      time.Time
-	finishing  atomic.Bool
-	finishOnce sync.Once
-	finishErr  error
+	stopCPU     func() error
+	stopHTTP    func() error
+	ctx         context.Context
+	cancelCtx   context.CancelFunc
+	finished    chan struct{}
+	start       time.Time
+	interrupted atomic.Bool
+	finishOnce  sync.Once
+	finishErr   error
 }
 
 // AddFlags registers the observability flags on fs and returns the bundle
@@ -54,6 +61,12 @@ func AddFlags(fs *flag.FlagSet) *CLI {
 	fs.StringVar(&c.DebugAddr, "debug-addr", "", "serve /debug/pprof/, /metrics and /progress on this host:port while running")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	// Some subcommands already own a -timeout flag with narrower scope
+	// (specio mincut's per-sweep cutoff); the global wall-clock budget only
+	// claims the name when it is free.
+	if fs.Lookup("timeout") == nil {
+		fs.DurationVar(&c.Timeout, "timeout", 0, "global wall-clock budget for the whole run; on expiry the pipeline winds down like an interrupt (0 = unlimited)")
+	}
 	return c
 }
 
@@ -87,30 +100,58 @@ func (c *CLI) Begin() error {
 		}
 		c.stopCPU = stop
 	}
-	// Interrupt handling goes in last so a signal-triggered Finish sees
-	// every sink above already installed. On SIGINT/SIGTERM the handler
-	// flushes profiles, metrics and trace, then exits 130 (interrupted).
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	c.ctx, c.sigStop = ctx, stop
+	// Interrupt handling goes in last so a signal-triggered flush sees
+	// every sink above already installed.
+	if c.Timeout > 0 {
+		c.ctx, c.cancelCtx = context.WithTimeout(context.Background(), c.Timeout)
+	} else {
+		c.ctx, c.cancelCtx = context.WithCancel(context.Background())
+	}
+	c.finished = make(chan struct{})
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		<-ctx.Done()
-		if c.finishing.Load() {
-			return // normal shutdown released the handler
+		defer signal.Stop(sigs)
+		select {
+		case <-c.finished:
+			return // clean exit: the command finished before any signal
+		case sig := <-sigs:
+			// First signal: cancel the pipeline context and wait. In-flight
+			// solves stop at their next iteration boundary, completed CSVs
+			// stay on disk, and the command's exit path runs Finish, which
+			// flushes telemetry and closes c.finished.
+			c.interrupted.Store(true)
+			fmt.Fprintf(os.Stderr, "obs: %v: cancelling pipeline, waiting for in-flight work (signal again to exit immediately)\n", sig)
+			c.cancelCtx()
+			select {
+			case <-c.finished:
+				return
+			case <-sigs:
+				// Second signal: the wind-down is taking too long (or is
+				// stuck). Flush what we have and go.
+				fmt.Fprintln(os.Stderr, "obs: second signal: flushing telemetry and exiting")
+				c.Finish() //nolint:errcheck // exiting non-zero regardless
+				os.Exit(130)
+			}
 		}
-		fmt.Fprintln(os.Stderr, "obs: interrupted; flushing telemetry")
-		c.Finish() //nolint:errcheck // exiting non-zero regardless
-		os.Exit(130)
 	}()
 	return nil
 }
 
-// Context returns a context cancelled on SIGINT/SIGTERM (Background before
-// Begin). Long sweeps can poll it to stop cleanly ahead of the flush.
+// Context returns the pipeline context: cancelled on SIGINT/SIGTERM and
+// deadlined by -timeout (Background before Begin). Every solve in the run
+// should descend from it.
 func (c *CLI) Context() context.Context {
 	if c.ctx == nil {
 		return context.Background()
 	}
 	return c.ctx
+}
+
+// Interrupted reports whether a SIGINT/SIGTERM triggered the context
+// cancellation. Commands use it to exit 130 after a clean wind-down.
+func (c *CLI) Interrupted() bool {
+	return c.interrupted.Load()
 }
 
 // Finish stops profiling and the debug server, records total wall time,
@@ -123,9 +164,11 @@ func (c *CLI) Finish() error {
 }
 
 func (c *CLI) finish() error {
-	c.finishing.Store(true)
-	if c.sigStop != nil {
-		c.sigStop() // release the handler goroutine; after this ^C kills hard
+	if c.finished != nil {
+		close(c.finished) // release the signal handler; after this ^C kills hard
+	}
+	if c.cancelCtx != nil {
+		c.cancelCtx()
 	}
 	var firstErr error
 	if c.stopCPU != nil {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"errors"
+	"flag"
 	"fmt"
 	"os"
 	"os/exec"
@@ -86,6 +87,52 @@ func TestCLITraceOutWritesPerfettoFile(t *testing.T) {
 	}
 	if !names["cli.phase"] || !names["cli.phase/inner"] {
 		t.Errorf("trace missing spans: %v", names)
+	}
+}
+
+func TestCLITimeoutDeadlinesContext(t *testing.T) {
+	c := &CLI{Timeout: 20 * time.Millisecond}
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Finish()
+	if _, ok := c.Context().Deadline(); !ok {
+		t.Fatal("-timeout did not put a deadline on the pipeline context")
+	}
+	select {
+	case <-c.Context().Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context never expired")
+	}
+	if c.Interrupted() {
+		t.Error("a wall-clock timeout must not report as a signal interrupt")
+	}
+}
+
+func TestCLITimeoutFlagYieldsToExistingFlag(t *testing.T) {
+	// specio mincut predates the global budget with its own -timeout (the
+	// per-sweep cutoff); AddFlags must not collide with it.
+	fs := flag.NewFlagSet("sub", flag.ContinueOnError)
+	var local time.Duration
+	fs.DurationVar(&local, "timeout", 0, "subcommand-scoped cutoff")
+	c := AddFlags(fs)
+	if err := fs.Parse([]string{"-timeout", "7s"}); err != nil {
+		t.Fatal(err)
+	}
+	if local != 7*time.Second {
+		t.Errorf("pre-existing flag got %v, want 7s", local)
+	}
+	if c.Timeout != 0 {
+		t.Errorf("CLI.Timeout = %v, want 0 (name owned by the subcommand)", c.Timeout)
+	}
+
+	fs2 := flag.NewFlagSet("plain", flag.ContinueOnError)
+	c2 := AddFlags(fs2)
+	if err := fs2.Parse([]string{"-timeout", "7s"}); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Timeout != 7*time.Second {
+		t.Errorf("CLI.Timeout = %v, want 7s", c2.Timeout)
 	}
 }
 
@@ -174,6 +221,19 @@ func cliInterruptChild() {
 	sp := StartSpan("child.sweep")
 	sp.End()
 	fmt.Println("CHILD_READY")
-	time.Sleep(30 * time.Second) // interrupted long before this elapses
-	os.Exit(0)                   // reached only if the signal never came
+	// The new contract: the signal cancels Context(), the command winds down
+	// on its own, flushes through Finish, and exits 130 itself.
+	select {
+	case <-c.Context().Done():
+	case <-time.After(30 * time.Second):
+		os.Exit(0) // reached only if the signal never came
+	}
+	if err := c.Finish(); err != nil {
+		fmt.Println("CHILD_FINISH_ERROR", err)
+		os.Exit(3)
+	}
+	if c.Interrupted() {
+		os.Exit(130)
+	}
+	os.Exit(0)
 }

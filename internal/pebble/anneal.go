@@ -1,7 +1,9 @@
 package pebble
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -31,6 +33,11 @@ type AnnealOptions struct {
 // upper bounds that sandwich the lower-bound methods. Returns the best
 // order found and its I/O.
 func Anneal(g *graph.Graph, start []int, M int, opt AnnealOptions) ([]int, Result, error) {
+	return AnnealContext(context.Background(), g, start, M, opt)
+}
+
+// AnnealContext is Anneal with cancellation, checked once per proposed move.
+func AnnealContext(ctx context.Context, g *graph.Graph, start []int, M int, opt AnnealOptions) ([]int, Result, error) {
 	if !g.IsTopological(start) {
 		return nil, Result{}, errors.New("pebble: Anneal start order is not topological")
 	}
@@ -73,6 +80,9 @@ func Anneal(g *graph.Graph, start []int, M int, opt AnnealOptions) ([]int, Resul
 	}
 	proposed, accepted := 0, 0
 	for it := 0; it < iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, Result{}, fmt.Errorf("pebble: annealing interrupted: %w", err)
+		}
 		i := rng.Intn(n - 1)
 		if isParent(cur[i], cur[i+1]) {
 			temp *= decay

@@ -14,6 +14,7 @@
 package pebble
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -82,6 +83,13 @@ type state struct {
 // to hold some vertex's operands (M must be at least the in-degree of
 // every vertex; the result slot may reuse a dead operand's slot).
 func Simulate(g *graph.Graph, order []int, M int, policy Policy) (Result, error) {
+	return SimulateContext(context.Background(), g, order, M, policy)
+}
+
+// SimulateContext is Simulate with cancellation: the context is checked
+// every few thousand evaluation steps, and a cancelled or expired context
+// aborts the simulation with the wrapped ctx error.
+func SimulateContext(ctx context.Context, g *graph.Graph, order []int, M int, policy Policy) (Result, error) {
 	if M < 1 {
 		return Result{}, errors.New("pebble: M must be ≥ 1")
 	}
@@ -118,6 +126,12 @@ func Simulate(g *graph.Graph, order []int, M int, policy Policy) (Result, error)
 
 	simDone := obs.TimeHist("pebble.simulate_ns")
 	for i, v := range order {
+		if i%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				simDone()
+				return Result{}, fmt.Errorf("pebble: simulation interrupted: %w", err)
+			}
+		}
 		s.step = int64(i)
 		if err := s.evaluate(v); err != nil {
 			return Result{}, err
@@ -279,6 +293,12 @@ func SimulateNatural(g *graph.Graph, M int, policy Policy) (Result, error) {
 // simulated under the given policy. It returns the best result, the order
 // achieving it, and a short label describing which heuristic won.
 func BestOrder(g *graph.Graph, M int, policy Policy, samples int, seed int64) (Result, []int, string, error) {
+	return BestOrderContext(context.Background(), g, M, policy, samples, seed)
+}
+
+// BestOrderContext is BestOrder with cancellation, checked between
+// candidate simulations and threaded into each one.
+func BestOrderContext(ctx context.Context, g *graph.Graph, M int, policy Policy, samples int, seed int64) (Result, []int, string, error) {
 	sp := obs.StartSpan("pebble.best_order")
 	sp.SetInt("n", int64(g.N()))
 	sp.SetInt("M", int64(M))
@@ -304,7 +324,11 @@ func BestOrder(g *graph.Graph, M int, policy Policy, samples int, seed int64) (R
 	bestName := ""
 	var firstErr error
 	for _, c := range cands {
-		res, err := Simulate(g, c.order, M, policy)
+		if err := ctx.Err(); err != nil {
+			sp.End()
+			return Result{}, nil, "", fmt.Errorf("pebble: order search interrupted: %w", err)
+		}
+		res, err := SimulateContext(ctx, g, c.order, M, policy)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -332,6 +356,12 @@ func BestOrder(g *graph.Graph, M int, policy Policy, samples int, seed int64) (R
 // greedily this is an upper bound on J*_G — but a very tight one on tiny
 // graphs, which is what the validation tests need.
 func ExhaustiveBest(g *graph.Graph, M int, policy Policy, maxOrders int) (Result, []int, error) {
+	return ExhaustiveBestContext(context.Background(), g, M, policy, maxOrders)
+}
+
+// ExhaustiveBestContext is ExhaustiveBest with cancellation, checked once
+// per completed linear extension.
+func ExhaustiveBestContext(ctx context.Context, g *graph.Graph, M int, policy Policy, maxOrders int) (Result, []int, error) {
 	if maxOrders <= 0 {
 		maxOrders = 100000
 	}
@@ -351,6 +381,9 @@ func ExhaustiveBest(g *graph.Graph, M int, policy Policy, maxOrders int) (Result
 			return nil
 		}
 		if len(order) == n {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("pebble: exhaustive search interrupted: %w", err)
+			}
 			count++
 			if count > maxOrders {
 				overflow = true

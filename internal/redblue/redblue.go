@@ -23,6 +23,7 @@ package redblue
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 
@@ -81,6 +82,14 @@ type Options struct {
 // Optimal computes the exact minimum I/O for evaluating g with fast memory
 // M. Graphs are limited to 20 vertices (the state packs three bitmasks).
 func Optimal(g *graph.Graph, M int, opt Options) (*Result, error) {
+	return OptimalContext(context.Background(), g, M, opt)
+}
+
+// OptimalContext is Optimal with cancellation: the context is checked every
+// few thousand expanded states, and a cancelled or expired context aborts
+// the search with the wrapped ctx error (the exact search has no meaningful
+// partial result — a prefix of a Dijkstra run certifies nothing).
+func OptimalContext(ctx context.Context, g *graph.Graph, M int, opt Options) (*Result, error) {
 	n := g.N()
 	if n > 20 {
 		return nil, fmt.Errorf("redblue: exact solver limited to 20 vertices, graph has %d", n)
@@ -162,7 +171,14 @@ func Optimal(g *graph.Graph, M int, opt Options) (*Result, error) {
 		sp.End()
 	}()
 
+	pops := 0
 	for q.Len() > 0 {
+		if pops%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("redblue: search interrupted: %w", err)
+			}
+		}
+		pops++
 		cur := heap.Pop(q).(*item)
 		st, cost := cur.st, cur.cost
 		if d, ok := dist[st]; ok && d < cost {

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (no deps).
 
-.PHONY: build test test-race vet bench bench-json bench-check cover experiments experiments-quick examples fmt
+.PHONY: build test test-race vet bench bench-json bench-check cover experiments experiments-quick verify-resume examples fmt
 
 build:
 	go build ./...
@@ -38,6 +38,11 @@ experiments:
 
 experiments-quick:
 	go run ./cmd/experiments -profile quick
+
+# Crash-consistency gate: short sweep, SIGKILL between experiment commits,
+# resume, require byte-identical artifacts versus an uninterrupted run.
+verify-resume:
+	sh scripts/verify_resume.sh
 
 examples:
 	go run ./examples/quickstart

@@ -17,6 +17,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"graphio/internal/persist"
 )
 
 // Result is one benchmark's parsed measurements. Fields beyond ns/op are
@@ -50,18 +52,17 @@ func main() {
 		fatal(fmt.Errorf("no benchmark lines found in input"))
 	}
 
-	w := io.Writer(os.Stdout)
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+	write := func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	}
+	if *out == "" {
+		if err := write(os.Stdout); err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		w = f
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
+	} else if err := persist.WriteTo(*out, write); err != nil {
+		// Atomic commit: a failed run leaves any previous BENCH.json intact.
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks parsed\n", len(results))

@@ -28,6 +28,8 @@ import (
 func main() {
 	exp := flag.String("exp", "", "comma-separated experiment names (empty = all): fig7,fig8,fig9,fig10,fig11,hypercube,fft,er,sandwich,bestk,thm4vs5")
 	out := flag.String("out", "", "directory for CSV output (empty = print only)")
+	resume := flag.Bool("resume", false, "replay -out's manifest.json and skip experiments whose artifacts verify under an identical config; re-run failed, missing, or mismatched ones")
+	crashAfter := flag.Int("crash-after", 0, "fault injection: SIGKILL this process after N experiments have committed (crash-consistency testing; 0 = off)")
 	profile := flag.String("profile", "default", "sweep scale: default|quick")
 	fftMax := flag.Int("fft-max", 0, "extend the FFT sweep up to this l")
 	bhkMax := flag.Int("bhk-max", 0, "extend the Bellman-Held-Karp sweep up to this l")
@@ -89,6 +91,24 @@ func main() {
 	}
 	cfg.ExperimentTimeout = *expTimeout
 	cfg.Progress = os.Stderr
+	cfg.Resume = *resume
+	if *resume && *out == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -resume needs -out (the manifest lives in the output directory)")
+		os.Exit(2)
+	}
+	if *crashAfter > 0 {
+		// Deterministic crash injection for the verify-resume harness: die
+		// the hard way (no handlers, no flush) once N experiments are
+		// durable, exactly like an OOM kill between experiments.
+		committed := 0
+		cfg.AfterExperiment = func(string) {
+			if committed++; committed == *crashAfter {
+				p, _ := os.FindProcess(os.Getpid())
+				p.Kill()
+				select {} // never runs on: Kill is SIGKILL
+			}
+		}
+	}
 
 	var names []string
 	if *exp != "" {

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"graphio/internal/mincut"
 	"graphio/internal/obs"
 	"graphio/internal/pebble"
+	"graphio/internal/persist"
 )
 
 // finishObs flushes the observability bundle (profiles, metrics dump) and
@@ -169,23 +171,22 @@ func cmdGen(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
+	write := func(w io.Writer) error {
+		switch *format {
+		case "json":
+			return g.WriteJSON(w)
+		case "dot":
+			return g.WriteDOT(w)
+		default:
+			return fmt.Errorf("unknown format %q", *format)
 		}
-		defer f.Close()
-		w = f
 	}
-	switch *format {
-	case "json":
-		return g.WriteJSON(w)
-	case "dot":
-		return g.WriteDOT(w)
-	default:
-		return fmt.Errorf("unknown format %q", *format)
+	if *out == "" {
+		return write(os.Stdout)
 	}
+	// Commit atomically: an interrupted or failed render must not replace
+	// (or half-write) an existing graph file.
+	return persist.WriteTo(*out, write)
 }
 
 func parseKind(s string) (laplacian.Kind, error) {

@@ -53,6 +53,23 @@ type Config struct {
 	// Progress, when non-nil, receives one line per completed figure data
 	// point (the sweeps over large graphs can take minutes per point).
 	Progress io.Writer
+
+	// Resume, with a non-empty outDir, replays outDir's manifest journal
+	// before running: experiments whose prior record carries the same
+	// Config hash and whose CSV still matches its recorded SHA-256 are
+	// skipped (their tables are reloaded so report.txt stays complete);
+	// failed, missing, or hash-mismatched ones re-run. An interrupted or
+	// partially-failed sweep therefore converges to the full artifact set
+	// across restarts. Resume, Progress, ExperimentTimeout and
+	// AfterExperiment do not affect results and are excluded from the hash.
+	Resume bool
+
+	// AfterExperiment, when non-nil, runs after each experiment's
+	// artifacts and manifest record are durably committed (also for
+	// skipped and failed experiments). It exists for fault injection —
+	// cmd/experiments' -crash-after kills the process from here to test
+	// crash consistency — and for test instrumentation.
+	AfterExperiment func(name string)
 }
 
 // DefaultConfig returns paper-like sweeps trimmed to commodity-hardware

@@ -1,0 +1,275 @@
+package experiments
+
+// Sweep durability. The manifest is an append-only, checksummed JSONL
+// journal (persist.Journal) named manifest.json in outDir. Each completed
+// experiment appends one record carrying the config hash it ran under,
+// its status, and the SHA-256 of its committed CSV, so a later -resume
+// can prove an artifact is both present and current before skipping the
+// recompute. Replay takes the latest record per experiment; a torn final
+// record — the crash case — is discarded by the journal layer.
+
+import (
+	"crypto/sha256"
+	"encoding/csv"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"graphio/internal/persist"
+)
+
+const (
+	// ManifestName is the sweep manifest journal inside outDir.
+	ManifestName = "manifest.json"
+	// manifestLockName is the single-writer lock guarding outDir.
+	manifestLockName = "manifest.lock"
+)
+
+// ErrSweepLocked reports that another live process is already sweeping
+// into the same outDir. (A lock left by a killed process is stolen, not
+// reported.)
+var ErrSweepLocked = errors.New("experiments: another sweep is running in this outDir")
+
+// Record kinds. A sweep record opens each run; experiment records carry
+// per-artifact state; a report record seals the combined report.txt.
+const (
+	recSweep      = "sweep"
+	recExperiment = "experiment"
+	recReport     = "report"
+)
+
+// manifestRecord is one journal entry. Fields are pointers-free and
+// omitempty so records stay one short JSON line each.
+type manifestRecord struct {
+	Kind string `json:"kind"`
+
+	// Every kind. ConfigHash pins the Config the work is valid for;
+	// stamping it per record (not just on the sweep header) keeps each
+	// experiment's skip decision self-contained across resumed runs.
+	ConfigHash string `json:"config_hash,omitempty"`
+	Time       string `json:"time,omitempty"` // RFC3339, informational
+
+	// recSweep.
+	Resumed bool `json:"resumed,omitempty"`
+
+	// recExperiment.
+	Name    string `json:"name,omitempty"`
+	Title   string `json:"title,omitempty"` // table title, for report regeneration
+	Status  string `json:"status,omitempty"`
+	Skipped bool   `json:"skipped,omitempty"` // verified and reused, not recomputed
+	Error   string `json:"error,omitempty"`
+	WallMS  int64  `json:"wall_ms,omitempty"`
+
+	// recExperiment and recReport: the committed artifact and its hash.
+	Artifact string `json:"artifact,omitempty"`
+	SHA256   string `json:"sha256,omitempty"`
+}
+
+const (
+	statusOK     = "ok"
+	statusFailed = "failed"
+)
+
+// Hash returns a stable hex digest of every Config field that affects
+// experiment results. Two sweeps with equal hashes produce identical
+// artifacts, so a resume may reuse verified ones; operational knobs that
+// cannot change results (Progress, ExperimentTimeout, Resume, the
+// AfterExperiment hook) are deliberately excluded.
+func (c Config) Hash() string {
+	shadow := struct {
+		V                int // bump to invalidate every old manifest on format change
+		FFTLevels        []int
+		FFTMemories      []int
+		MatMulSizes      []int
+		MatMulMemories   []int
+		StrassenSizes    []int
+		StrassenMemories []int
+		BHKCities        []int
+		BHKMemories      []int
+		MinCutTimeoutNS  int64
+		MinCutMaxN       int
+		Solver           int
+		MaxK             int
+		SandwichSamples  int
+		ERSizes          []int
+		ERP0             float64
+		Seed             int64
+	}{
+		V:         1,
+		FFTLevels: c.FFTLevels, FFTMemories: c.FFTMemories,
+		MatMulSizes: c.MatMulSizes, MatMulMemories: c.MatMulMemories,
+		StrassenSizes: c.StrassenSizes, StrassenMemories: c.StrassenMemories,
+		BHKCities: c.BHKCities, BHKMemories: c.BHKMemories,
+		MinCutTimeoutNS: c.MinCutTimeout.Nanoseconds(), MinCutMaxN: c.MinCutMaxN,
+		Solver: int(c.Solver), MaxK: c.MaxK,
+		SandwichSamples: c.SandwichSamples,
+		ERSizes:         c.ERSizes, ERP0: c.ERP0, Seed: c.Seed,
+	}
+	b, err := json.Marshal(shadow)
+	if err != nil {
+		// Marshalling a struct of ints and slices cannot fail; if it ever
+		// does, an unforgeable hash disables all skipping rather than
+		// risking a stale artifact.
+		return "unhashable"
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// sweepManifest owns the journal and lock for one RunAll invocation.
+type sweepManifest struct {
+	journal *persist.Journal
+	lock    *persist.Lock
+	hash    string
+	prior   map[string]manifestRecord // latest experiment record per name
+}
+
+// openManifest locks outDir, clears stale temp debris, and opens the
+// manifest journal. With resume set, prior records are replayed so the
+// sweep can skip verified work; otherwise the journal starts fresh.
+func openManifest(outDir string, cfg Config, resume bool) (*sweepManifest, error) {
+	lock, err := persist.AcquireLock(filepath.Join(outDir, manifestLockName))
+	if err != nil {
+		if errors.Is(err, persist.ErrLocked) {
+			return nil, fmt.Errorf("%w: %v", ErrSweepLocked, err)
+		}
+		return nil, err
+	}
+	if _, err := persist.RemoveStaleTemps(outDir); err != nil {
+		lock.Release()
+		return nil, err
+	}
+	path := filepath.Join(outDir, ManifestName)
+	if !resume {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			lock.Release()
+			return nil, err
+		}
+	}
+	journal, records, err := persist.OpenJournal(path)
+	if err != nil {
+		lock.Release()
+		return nil, fmt.Errorf("experiments: opening sweep manifest: %w", err)
+	}
+	m := &sweepManifest{journal: journal, lock: lock, hash: cfg.Hash(), prior: map[string]manifestRecord{}}
+	for _, raw := range records {
+		var rec manifestRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			continue // checksummed but unknown shape: treat as absent
+		}
+		if rec.Kind == recExperiment && rec.Name != "" {
+			m.prior[rec.Name] = rec
+		}
+	}
+	if err := m.append(manifestRecord{Kind: recSweep, ConfigHash: m.hash, Resumed: resume}); err != nil {
+		m.close()
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *sweepManifest) append(rec manifestRecord) error {
+	rec.Time = time.Now().UTC().Format(time.RFC3339)
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return m.journal.Append(b)
+}
+
+// completed records a successful experiment and its committed artifact.
+func (m *sweepManifest) completed(t *Table, sha string, wall time.Duration) error {
+	return m.append(manifestRecord{
+		Kind: recExperiment, ConfigHash: m.hash,
+		Name: t.Name, Title: t.Title, Status: statusOK,
+		Artifact: t.Name + ".csv", SHA256: sha, WallMS: wall.Milliseconds(),
+	})
+}
+
+// failed records an experiment that ran and errored.
+func (m *sweepManifest) failed(name string, wall time.Duration, cause error) error {
+	return m.append(manifestRecord{
+		Kind: recExperiment, ConfigHash: m.hash,
+		Name: name, Status: statusFailed, Error: cause.Error(), WallMS: wall.Milliseconds(),
+	})
+}
+
+// skipped re-records a verified prior result so the manifest's tail
+// always reflects the latest sweep's view of every experiment.
+func (m *sweepManifest) skipped(prior manifestRecord) error {
+	prior.Kind = recExperiment
+	prior.ConfigHash = m.hash
+	prior.Skipped = true
+	prior.Time = ""
+	return m.append(prior)
+}
+
+// report seals the combined report.txt's hash.
+func (m *sweepManifest) report(sha string) error {
+	return m.append(manifestRecord{Kind: recReport, ConfigHash: m.hash, Artifact: "report.txt", SHA256: sha})
+}
+
+// reusable decides whether an experiment can be skipped under the current
+// config: a prior ok record with a matching config hash whose artifact is
+// still on disk with the recorded hash. It returns the reloaded table on
+// success (so report.txt still covers skipped experiments byte-for-byte).
+func (m *sweepManifest) reusable(outDir, name string) (*Table, manifestRecord, bool) {
+	rec, ok := m.prior[name]
+	if !ok || rec.Status != statusOK || rec.ConfigHash != m.hash || rec.Artifact == "" {
+		return nil, rec, false
+	}
+	path := filepath.Join(outDir, rec.Artifact)
+	sha, err := sha256File(path)
+	if err != nil || sha != rec.SHA256 {
+		return nil, rec, false
+	}
+	t, err := loadTableCSV(path, name, rec.Title)
+	if err != nil {
+		return nil, rec, false
+	}
+	return t, rec, true
+}
+
+func (m *sweepManifest) close() {
+	m.journal.Close()
+	m.lock.Release()
+}
+
+// sha256File hashes a file's current content.
+func sha256File(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// sha256Bytes hashes an in-memory artifact.
+func sha256Bytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// loadTableCSV reconstructs a Table from its committed CSV plus the title
+// the manifest recorded, for regenerating report.txt on resume without
+// recomputing the experiment.
+func loadTableCSV(path, name, title string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	records, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("experiments: %s: empty CSV", path)
+	}
+	return &Table{Name: name, Title: title, Columns: records[0], Rows: records[1:]}, nil
+}

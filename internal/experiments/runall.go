@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"graphio/internal/gen"
 	"graphio/internal/graph"
 	"graphio/internal/obs"
+	"graphio/internal/persist"
 )
 
 // Runner names one experiment and how to produce its table.
@@ -66,6 +68,14 @@ func Runners() []Runner {
 // disk. Config.ExperimentTimeout, when positive, deadlines each experiment
 // individually; a timed-out experiment is reported as failed and the sweep
 // moves on.
+//
+// With a non-empty outDir every artifact is written crash-safely: CSVs
+// and report.txt commit atomically (temp file + fsync + rename), and a
+// manifest journal in outDir records each experiment's status, config
+// hash, and artifact SHA-256 as it completes. outDir is guarded by a
+// single-writer lock; a second concurrent sweep into the same directory
+// fails with ErrSweepLocked, while a lock left by a killed run is stolen.
+// Config.Resume turns the manifest into a checkpoint: see Config.
 func RunAll(ctx context.Context, cfg Config, outDir string, names []string, log io.Writer) ([]*Table, error) {
 	return runRunners(ctx, cfg, outDir, names, log, Runners())
 }
@@ -77,10 +87,25 @@ func runRunners(ctx context.Context, cfg Config, outDir string, names []string, 
 	for _, n := range names {
 		want[n] = true
 	}
+	var selected []Runner
+	for _, r := range runners {
+		if len(want) == 0 || want[r.Name] {
+			selected = append(selected, r)
+		}
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("no experiment matches %v", names)
+	}
+	var man *sweepManifest
 	if outDir != "" {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
 			return nil, err
 		}
+		var err error
+		if man, err = openManifest(outDir, cfg, cfg.Resume); err != nil {
+			return nil, err
+		}
+		defer man.close()
 	}
 	type failure struct {
 		name string
@@ -88,15 +113,31 @@ func runRunners(ctx context.Context, cfg Config, outDir string, names []string, 
 	}
 	var tables []*Table
 	var failures []failure
-	matched := 0
-	for _, r := range runners {
-		if len(want) > 0 && !want[r.Name] {
-			continue
+	for _, r := range selected {
+		if man != nil && cfg.Resume {
+			if t, rec, ok := man.reusable(outDir, r.Name); ok {
+				fmt.Fprintf(log, "== skipping %s (artifact verified against manifest)\n", r.Name)
+				obs.Inc("experiments.resume.skipped")
+				if err := man.skipped(rec); err != nil {
+					return tables, err
+				}
+				tables = append(tables, t)
+				if cfg.AfterExperiment != nil {
+					cfg.AfterExperiment(r.Name)
+				}
+				continue
+			}
+			if _, seen := man.prior[r.Name]; seen {
+				fmt.Fprintf(log, "== re-running %s (prior run failed, config changed, or artifact does not verify)\n", r.Name)
+				obs.Inc("experiments.resume.reran")
+			}
 		}
-		matched++
 		if err := ctx.Err(); err != nil {
 			// The sweep itself was cancelled: stop starting experiments. The
-			// tables already produced stay valid and get reported below.
+			// tables already produced stay valid and get reported below. No
+			// manifest record is written — a not-started experiment keeps
+			// whatever state the journal already holds, so a later -resume
+			// picks it up exactly where this sweep left off.
 			failures = append(failures, failure{r.Name, fmt.Errorf("not started: %w", err)})
 			obs.Inc("experiments.skipped")
 			continue
@@ -121,6 +162,14 @@ func runRunners(ctx context.Context, cfg Config, outDir string, names []string, 
 			failures = append(failures, failure{r.Name, err})
 			obs.Inc("experiments.failures")
 			fmt.Fprintf(log, "== %s FAILED after %v: %v\n\n", r.Name, elapsed.Round(time.Millisecond), err)
+			if man != nil {
+				if mErr := man.failed(r.Name, elapsed, err); mErr != nil {
+					return tables, mErr
+				}
+			}
+			if cfg.AfterExperiment != nil {
+				cfg.AfterExperiment(r.Name)
+			}
 			continue
 		}
 		tables = append(tables, t)
@@ -128,33 +177,39 @@ func runRunners(ctx context.Context, cfg Config, outDir string, names []string, 
 			return tables, err
 		}
 		fmt.Fprintln(log)
-		// Persist each table as soon as it exists: long sweeps should not
-		// lose completed experiments to a crash, a kill, or a failure later
-		// in the sweep.
+		// Persist each table the moment it exists — atomically, so a crash
+		// later in the sweep can cost at most the in-flight experiment, and
+		// never leaves a torn CSV for -resume to mistake for a result.
 		if outDir != "" {
-			if err := writeCSV(outDir, t); err != nil {
+			sha, err := writeCSV(outDir, t)
+			if err != nil {
 				return tables, err
 			}
+			if mErr := man.completed(t, sha, elapsed); mErr != nil {
+				return tables, mErr
+			}
 		}
-	}
-	if matched == 0 {
-		return nil, fmt.Errorf("no experiment matches %v", names)
+		if cfg.AfterExperiment != nil {
+			cfg.AfterExperiment(r.Name)
+		}
 	}
 	if outDir != "" && len(tables) > 0 {
-		report, err := os.Create(filepath.Join(outDir, "report.txt"))
-		if err != nil {
-			return tables, err
-		}
-		defer report.Close()
+		var buf bytes.Buffer
 		for _, t := range tables {
-			if err := t.WriteText(report); err != nil {
+			if err := t.WriteText(&buf); err != nil {
 				return tables, err
 			}
-			fmt.Fprintln(report)
+			fmt.Fprintln(&buf)
+		}
+		if err := persist.WriteFileAtomic(filepath.Join(outDir, "report.txt"), buf.Bytes(), 0o644); err != nil {
+			return tables, err
+		}
+		if err := man.report(sha256Bytes(buf.Bytes())); err != nil {
+			return tables, err
 		}
 	}
 	if len(failures) > 0 {
-		fmt.Fprintf(log, "== %d of %d experiment(s) failed:\n", len(failures), matched)
+		fmt.Fprintf(log, "== %d of %d experiment(s) failed:\n", len(failures), len(selected))
 		errs := make([]error, 0, len(failures))
 		for _, f := range failures {
 			fmt.Fprintf(log, "==   %s: %v\n", f.name, f.err)
@@ -205,14 +260,18 @@ func heartbeat(w io.Writer, name string, start time.Time) (stop func()) {
 	}
 }
 
-func writeCSV(outDir string, t *Table) error {
-	f, err := os.Create(filepath.Join(outDir, t.Name+".csv"))
-	if err != nil {
-		return err
+// writeCSV renders the completed table in memory, commits it atomically
+// as <name>.csv, and returns the committed bytes' SHA-256 for the
+// manifest. Rendering before the file exists is what guarantees a failed
+// or crashed runner can never leave a zero-byte or partial CSV behind.
+func writeCSV(outDir string, t *Table) (sha string, err error) {
+	var buf bytes.Buffer
+	if err := t.WriteCSV(&buf); err != nil {
+		return "", err
 	}
-	if err := t.WriteCSV(f); err != nil {
-		f.Close()
-		return err
+	path := filepath.Join(outDir, t.Name+".csv")
+	if err := persist.WriteFileAtomic(path, buf.Bytes(), 0o644); err != nil {
+		return "", err
 	}
-	return f.Close()
+	return sha256Bytes(buf.Bytes()), nil
 }

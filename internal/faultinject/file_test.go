@@ -1,0 +1,74 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// memFile is an in-memory stand-in for *os.File.
+type memFile struct {
+	buf    bytes.Buffer
+	syncs  int
+	closed bool
+}
+
+func (m *memFile) Write(p []byte) (int, error) { return m.buf.Write(p) }
+func (m *memFile) Sync() error                 { m.syncs++; return nil }
+func (m *memFile) Close() error                { m.closed = true; return nil }
+
+func TestFileTornWrite(t *testing.T) {
+	m := &memFile{}
+	f := &File{F: m, FailWriteAfter: 10}
+	if n, err := f.Write([]byte("12345")); n != 5 || err != nil {
+		t.Fatalf("under-threshold write: n=%d err=%v", n, err)
+	}
+	n, err := f.Write([]byte("6789012345"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("over-threshold write err = %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("torn write passed %d bytes through, want 5 (cut at the threshold)", n)
+	}
+	if got := m.buf.String(); got != "1234567890" {
+		t.Fatalf("underlying saw %q, want exactly the first 10 bytes", got)
+	}
+	if f.Faults() != 1 {
+		t.Errorf("faults = %d", f.Faults())
+	}
+	// Every later write fails too: the disk stays dead.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Errorf("write after threshold = %v", err)
+	}
+}
+
+func TestFileSyncAndCloseFaults(t *testing.T) {
+	m := &memFile{}
+	f := &File{F: m, FailOnSync: 2, FailOnClose: true}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("first sync: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second sync = %v, want injected", err)
+	}
+	if m.syncs != 1 {
+		t.Errorf("underlying syncs = %d: the failing sync must not reach the file", m.syncs)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("third sync: %v (only the configured call fails)", err)
+	}
+	if err := f.Close(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("close = %v, want injected", err)
+	}
+	if !m.closed {
+		t.Error("underlying file left open by failing Close")
+	}
+}
+
+func TestFileCustomError(t *testing.T) {
+	custom := errors.New("ENOSPC at last")
+	f := &File{F: &memFile{}, FailOnSync: 1, Err: custom}
+	if err := f.Sync(); !errors.Is(err, custom) {
+		t.Fatalf("err = %v, want custom", err)
+	}
+}

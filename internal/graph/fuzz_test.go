@@ -20,6 +20,12 @@ func FuzzReadJSON(f *testing.F) {
 		`{"n":3,"edges":[[0,1],[0,1],[0,0]]}`,
 		"",
 		`{"n":2,"edges":[[0,1`,
+		`{"n":3,"vertices":[0,1,2],"edges":[[0,2]]}`,
+		`{"n":3,"vertices":[0,1,1],"edges":[]}`,
+		`{"n":3,"vertices":[0,1],"edges":[]}`,
+		`{"n":2,"vertices":[0,-1],"edges":[]}`,
+		`{"n":2,"edges":[[0,5]]}`,
+		`{"n":2,"edges":[[-1,0]]}`,
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -7,13 +7,52 @@ import (
 	"io"
 )
 
+// DefaultReadLimit caps how many input bytes ReadJSON will consume: 64 MiB,
+// comfortably above the largest graph the experiments serialize while
+// keeping a hostile or corrupt stream from ballooning memory. Callers with
+// bigger graphs use ReadJSONLimit.
+const DefaultReadLimit int64 = 64 << 20
+
+// SizeError reports input that exceeded the parser's byte limit.
+type SizeError struct {
+	Limit int64
+}
+
+func (e *SizeError) Error() string {
+	return fmt.Sprintf("graph: input exceeds the %d-byte read limit", e.Limit)
+}
+
+// DuplicateVertexError reports an explicit vertex list naming the same
+// vertex ID twice.
+type DuplicateVertexError struct {
+	ID int
+}
+
+func (e *DuplicateVertexError) Error() string {
+	return fmt.Sprintf("graph: duplicate vertex id %d in vertex list", e.ID)
+}
+
+// EdgeVertexError reports an edge referencing a vertex outside [0, N).
+type EdgeVertexError struct {
+	U, V int // the offending edge
+	N    int // the declared vertex count
+}
+
+func (e *EdgeVertexError) Error() string {
+	return fmt.Sprintf("graph: edge (%d,%d) references vertex outside [0,%d)", e.U, e.V, e.N)
+}
+
 // jsonGraph is the on-disk representation: a name, a vertex count, and an
 // edge list. It is deliberately simple so that graphs can be produced and
-// consumed by other tools.
+// consumed by other tools. Vertices, when present, lists explicit vertex
+// IDs and must be a permutation of 0..n-1; it exists so external producers
+// that emit ID lists get duplicate/range validation instead of silent
+// acceptance.
 type jsonGraph struct {
-	Name  string   `json:"name"`
-	N     int      `json:"n"`
-	Edges [][2]int `json:"edges"`
+	Name     string   `json:"name"`
+	N        int      `json:"n"`
+	Vertices []int    `json:"vertices,omitempty"`
+	Edges    [][2]int `json:"edges"`
 }
 
 // WriteJSON serializes g to w in the module's JSON graph format.
@@ -23,12 +62,34 @@ func (g *Graph) WriteJSON(w io.Writer) error {
 	return enc.Encode(&jg)
 }
 
-// ReadJSON parses a graph in the module's JSON format and validates it.
+// ReadJSON parses a graph in the module's JSON format and validates it,
+// reading at most DefaultReadLimit bytes (*SizeError beyond that).
 func ReadJSON(r io.Reader) (*Graph, error) {
+	return ReadJSONLimit(r, DefaultReadLimit)
+}
+
+// ReadJSONLimit is ReadJSON with an explicit byte limit (non-positive
+// limits fall back to DefaultReadLimit). Malformed input fails with a
+// decode error; input over the limit with *SizeError; a duplicate ID in an
+// explicit vertex list with *DuplicateVertexError; an edge naming an
+// unknown vertex with *EdgeVertexError.
+func ReadJSONLimit(r io.Reader, limit int64) (*Graph, error) {
+	if limit <= 0 {
+		limit = DefaultReadLimit
+	}
+	// Read one byte past the limit so "exactly at the cap" stays legal and
+	// anything larger is distinguishable from genuine truncation.
+	cr := &countingReader{r: io.LimitReader(r, limit+1)}
 	var jg jsonGraph
-	dec := json.NewDecoder(r)
+	dec := json.NewDecoder(cr)
 	if err := dec.Decode(&jg); err != nil {
+		if cr.n > limit {
+			return nil, &SizeError{Limit: limit}
+		}
 		return nil, fmt.Errorf("graph: decoding JSON: %w", err)
+	}
+	if cr.n > limit {
+		return nil, &SizeError{Limit: limit}
 	}
 	if jg.N < 0 {
 		return nil, fmt.Errorf("graph: negative vertex count %d", jg.N)
@@ -39,15 +100,46 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 	if jg.N > maxN {
 		return nil, fmt.Errorf("graph: vertex count %d exceeds the parser limit %d", jg.N, maxN)
 	}
+	if jg.Vertices != nil {
+		if len(jg.Vertices) != jg.N {
+			return nil, fmt.Errorf("graph: vertex list has %d entries, n is %d", len(jg.Vertices), jg.N)
+		}
+		seen := make([]bool, jg.N)
+		for _, id := range jg.Vertices {
+			if id < 0 || id >= jg.N {
+				return nil, fmt.Errorf("graph: vertex id %d outside [0,%d)", id, jg.N)
+			}
+			if seen[id] {
+				return nil, &DuplicateVertexError{ID: id}
+			}
+			seen[id] = true
+		}
+	}
 	b := NewBuilder(jg.N, len(jg.Edges))
 	b.SetName(jg.Name)
 	b.AddVertices(jg.N)
 	for _, e := range jg.Edges {
+		if e[0] < 0 || e[0] >= jg.N || e[1] < 0 || e[1] >= jg.N {
+			return nil, &EdgeVertexError{U: e[0], V: e[1], N: jg.N}
+		}
 		if err := b.AddEdge(e[0], e[1]); err != nil {
 			return nil, err
 		}
 	}
 	return b.Build()
+}
+
+// countingReader tracks how many bytes the decoder actually consumed, so
+// a limit hit can be told apart from ordinarily truncated input.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // WriteDOT emits the graph in Graphviz DOT format for visual inspection.

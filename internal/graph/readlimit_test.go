@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestReadJSONLimitTypedSizeError(t *testing.T) {
+	// A graph whose serialization exceeds the limit must fail with
+	// *SizeError, not a generic decode error.
+	var sb strings.Builder
+	sb.WriteString(`{"n":50,"edges":[`)
+	for i := 0; i < 49; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, "[%d,%d]", i, i+1)
+	}
+	sb.WriteString("]}")
+	input := sb.String()
+
+	if _, err := ReadJSONLimit(strings.NewReader(input), int64(len(input))); err != nil {
+		t.Fatalf("input exactly at the limit rejected: %v", err)
+	}
+	_, err := ReadJSONLimit(strings.NewReader(input), int64(len(input))-1)
+	var se *SizeError
+	if !errors.As(err, &se) {
+		t.Fatalf("over-limit input: err = %v, want *SizeError", err)
+	}
+	if se.Limit != int64(len(input))-1 {
+		t.Errorf("SizeError.Limit = %d, want %d", se.Limit, len(input)-1)
+	}
+	// Truncated input under the limit stays a decode error.
+	_, err = ReadJSONLimit(strings.NewReader(input[:20]), 1<<20)
+	if errors.As(err, &se) {
+		t.Error("ordinary truncation misreported as a size-limit hit")
+	}
+	if err == nil {
+		t.Error("truncated input accepted")
+	}
+}
+
+func TestReadJSONDuplicateVertexTypedError(t *testing.T) {
+	_, err := ReadJSON(strings.NewReader(`{"n":3,"vertices":[0,1,1],"edges":[]}`))
+	var de *DuplicateVertexError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DuplicateVertexError", err)
+	}
+	if de.ID != 1 {
+		t.Errorf("DuplicateVertexError.ID = %d, want 1", de.ID)
+	}
+	// A valid explicit vertex list is accepted.
+	g, err := ReadJSON(strings.NewReader(`{"n":3,"vertices":[2,0,1],"edges":[[0,1]]}`))
+	if err != nil {
+		t.Fatalf("valid vertex list rejected: %v", err)
+	}
+	if g.N() != 3 || g.M() != 1 {
+		t.Errorf("graph shape = (%d,%d), want (3,1)", g.N(), g.M())
+	}
+	// Wrong-length and out-of-range lists are rejected (untyped).
+	for _, bad := range []string{
+		`{"n":3,"vertices":[0,1],"edges":[]}`,
+		`{"n":3,"vertices":[0,1,7],"edges":[]}`,
+		`{"n":2,"vertices":[0,-1],"edges":[]}`,
+	} {
+		if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted invalid vertex list %s", bad)
+		}
+	}
+}
+
+func TestReadJSONUnknownVertexEdgeTypedError(t *testing.T) {
+	for _, tc := range []struct {
+		input string
+		u, v  int
+	}{
+		{`{"n":2,"edges":[[0,5]]}`, 0, 5},
+		{`{"n":2,"edges":[[-1,0]]}`, -1, 0},
+		{`{"n":0,"edges":[[0,0]]}`, 0, 0},
+	} {
+		_, err := ReadJSON(strings.NewReader(tc.input))
+		var ee *EdgeVertexError
+		if !errors.As(err, &ee) {
+			t.Fatalf("%s: err = %v, want *EdgeVertexError", tc.input, err)
+		}
+		if ee.U != tc.u || ee.V != tc.v {
+			t.Errorf("%s: edge = (%d,%d), want (%d,%d)", tc.input, ee.U, ee.V, tc.u, tc.v)
+		}
+	}
+}

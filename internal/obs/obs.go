@@ -22,17 +22,25 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"graphio/internal/persist"
 )
 
 var (
 	enabled  atomic.Bool
 	defaultR = NewRegistry()
 )
+
+// persist reports its commit/abort/journal events through a hook so it
+// can stay dependency-free; point the hook here so persist.* counters
+// land in the registry alongside everything else (no-ops while disabled).
+func init() {
+	persist.Count = Inc
+}
 
 // Enable turns the default registry on or off. Disabled is the zero state.
 func Enable(on bool) { enabled.Store(on) }
@@ -366,15 +374,9 @@ func WriteJSON(w io.Writer) error { return defaultR.WriteJSON(w) }
 // WriteText emits the default registry as text.
 func WriteText(w io.Writer) error { return defaultR.WriteText(w) }
 
-// DumpJSON writes the default registry's snapshot to path.
+// DumpJSON writes the default registry's snapshot to path atomically: a
+// signal or crash arriving mid-flush leaves path absent or with its
+// previous content, never truncated.
 func DumpJSON(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := defaultR.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return persist.WriteTo(path, defaultR.WriteJSON)
 }

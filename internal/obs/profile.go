@@ -2,39 +2,41 @@ package obs
 
 import (
 	"fmt"
-	"os"
+	"io"
 	"runtime"
 	"runtime/pprof"
+
+	"graphio/internal/persist"
 )
 
-// StartCPUProfile begins a CPU profile written to path and returns the
-// function that stops the profile and closes the file.
+// StartCPUProfile begins a CPU profile streamed to a staged temp file and
+// returns the function that stops the profile and atomically publishes it
+// at path — a run killed mid-profile leaves no torn profile behind.
 func StartCPUProfile(path string) (stop func() error, err error) {
-	f, err := os.Create(path)
+	w, err := persist.NewWriter(path)
 	if err != nil {
 		return nil, fmt.Errorf("obs: cpu profile: %w", err)
 	}
-	if err := pprof.StartCPUProfile(f); err != nil {
-		f.Close()
+	if err := pprof.StartCPUProfile(w); err != nil {
+		w.Close()
 		return nil, fmt.Errorf("obs: cpu profile: %w", err)
 	}
 	return func() error {
 		pprof.StopCPUProfile()
-		return f.Close()
+		return w.Commit()
 	}, nil
 }
 
 // WriteHeapProfile captures a heap profile to path after a GC, so the
 // profile reflects live objects rather than garbage awaiting collection.
+// The write is atomic: failure or interruption leaves path untouched.
 func WriteHeapProfile(path string) error {
-	f, err := os.Create(path)
+	err := persist.WriteTo(path, func(w io.Writer) error {
+		runtime.GC()
+		return pprof.WriteHeapProfile(w)
+	})
 	if err != nil {
 		return fmt.Errorf("obs: heap profile: %w", err)
 	}
-	runtime.GC()
-	if err := pprof.WriteHeapProfile(f); err != nil {
-		f.Close()
-		return fmt.Errorf("obs: heap profile: %w", err)
-	}
-	return f.Close()
+	return nil
 }

@@ -4,13 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"runtime"
 	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"graphio/internal/persist"
 )
 
 // The trace collector records completed spans as events and serializes
@@ -206,17 +207,11 @@ func WriteTrace(w io.Writer) error {
 	return writeTraceEvents(w, events)
 }
 
-// DumpTrace writes the buffered trace to path.
+// DumpTrace writes the buffered trace to path atomically (temp file +
+// rename), so an interrupt landing mid-flush cannot truncate an existing
+// trace or leave a half-written one.
 func DumpTrace(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := WriteTrace(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return persist.WriteTo(path, WriteTrace)
 }
 
 // writeTraceEvents emits the JSON Object Format of the Chrome trace-event

@@ -1,0 +1,155 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// A Journal is an append-only JSONL log with a CRC32-C checksum on every
+// record. Each line is a self-contained JSON object
+//
+//	{"crc":"xxxxxxxx","rec":<payload>}
+//
+// where crc is the checksum of the payload bytes exactly as they appear.
+// Appends are fsynced, so a record that Append returned nil for survives
+// a crash. A crash *during* an append leaves a torn final line (no
+// newline, or a half-written record); OpenJournal discards it and
+// truncates the file back to the last good record, which is the
+// crash-consistency contract sweep manifests rely on. A bad record
+// anywhere before the final line cannot be produced by an append crash
+// and is reported as a *CorruptError instead of silently dropped.
+type Journal struct {
+	f    File
+	path string
+}
+
+// CorruptError reports a journal record that failed validation somewhere
+// other than the (tolerated) torn tail.
+type CorruptError struct {
+	Path   string
+	Line   int    // 1-based line number of the bad record
+	Reason string // what failed: framing, checksum, ...
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("persist: corrupt journal %s: line %d: %s", e.Path, e.Line, e.Reason)
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func crcHex(payload []byte) string {
+	return fmt.Sprintf("%08x", crc32.Checksum(payload, crcTable))
+}
+
+// journalLine is the on-disk framing of one record.
+type journalLine struct {
+	CRC string          `json:"crc"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+// OpenJournal opens (creating if absent) the journal at path, replays its
+// records, and returns the journal positioned for appending plus the
+// replayed payloads in append order. A torn final record is discarded and
+// counted under persist.journal.torn; earlier corruption returns a
+// *CorruptError and no journal.
+func OpenJournal(path string) (*Journal, [][]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	records, goodLen, repErr := replay(path, data)
+	if repErr != nil {
+		return nil, nil, repErr
+	}
+	if int64(goodLen) < int64(len(data)) {
+		// Torn tail from a crash mid-append: drop it so the next append
+		// starts on a record boundary.
+		if err := os.Truncate(path, int64(goodLen)); err != nil {
+			return nil, nil, fmt.Errorf("persist: truncating torn journal %s: %w", path, err)
+		}
+		Count("persist.journal.torn")
+	}
+	osf, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Journal{f: wrap(osf), path: path}, records, nil
+}
+
+// replay validates data as journal content and returns the record
+// payloads plus the byte length of the good prefix. Only the final line
+// may be bad (torn); a bad earlier line is a *CorruptError.
+func replay(path string, data []byte) (records [][]byte, goodLen int, err error) {
+	off := 0
+	line := 0
+	for off < len(data) {
+		line++
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// No terminating newline: torn tail, tolerated.
+			return records, off, nil
+		}
+		raw := data[off : off+nl]
+		payload, perr := parseLine(raw)
+		if perr != nil {
+			if off+nl+1 >= len(data) {
+				// Bad final line (e.g. the crash raced the newline out but
+				// not the record body): tolerated like a missing newline.
+				return records, off, nil
+			}
+			return nil, 0, &CorruptError{Path: path, Line: line, Reason: perr.Error()}
+		}
+		records = append(records, payload)
+		off += nl + 1
+	}
+	return records, off, nil
+}
+
+// parseLine unframes one journal line and verifies its checksum.
+func parseLine(raw []byte) ([]byte, error) {
+	var jl journalLine
+	if err := json.Unmarshal(raw, &jl); err != nil {
+		return nil, fmt.Errorf("unparseable frame: %v", err)
+	}
+	if jl.Rec == nil {
+		return nil, fmt.Errorf("frame missing rec field")
+	}
+	if got := crcHex(jl.Rec); got != jl.CRC {
+		return nil, fmt.Errorf("checksum mismatch: frame says %s, payload is %s", jl.CRC, got)
+	}
+	return jl.Rec, nil
+}
+
+// Append frames rec (which must be a single line of valid JSON), writes
+// it, and fsyncs. When Append returns nil the record is durable.
+func (j *Journal) Append(rec []byte) error {
+	if !json.Valid(rec) {
+		return fmt.Errorf("persist: journal %s: record is not valid JSON", j.path)
+	}
+	if bytes.IndexByte(rec, '\n') >= 0 {
+		return fmt.Errorf("persist: journal %s: record contains a newline", j.path)
+	}
+	frame, err := json.Marshal(journalLine{CRC: crcHex(rec), Rec: json.RawMessage(rec)})
+	if err != nil {
+		return err
+	}
+	frame = append(frame, '\n')
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("persist: appending to journal %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("persist: syncing journal %s: %w", j.path, err)
+	}
+	Count("persist.journal.append")
+	return nil
+}
+
+// Close closes the journal's file handle. Records already appended remain
+// durable; the journal can be reopened with OpenJournal.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }

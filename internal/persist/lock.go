@@ -1,0 +1,86 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// ErrLocked is wrapped by AcquireLock when the lock file is held by a
+// process that is still alive. Callers branch on it with errors.Is.
+var ErrLocked = errors.New("persist: lock held by a live process")
+
+// Lock is a held directory lock; Release removes it.
+type Lock struct {
+	path string
+}
+
+// AcquireLock takes the single-writer lock at path by creating the file
+// exclusively with the owner's PID inside. If the file already exists and
+// its recorded PID is still alive, the returned error wraps ErrLocked. A
+// lock whose owner is dead — the aftermath of a crash or SIGKILL — is
+// stolen, so restarting after a kill never needs manual cleanup.
+func AcquireLock(path string) (*Lock, error) {
+	for attempt := 0; attempt < 3; attempt++ {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			_, werr := fmt.Fprintf(f, "%d\n", os.Getpid())
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				os.Remove(path)
+				return nil, werr
+			}
+			return &Lock{path: path}, nil
+		}
+		if !os.IsExist(err) {
+			return nil, err
+		}
+		pid, readErr := readLockPID(path)
+		if readErr == nil && pid > 0 && pidAlive(pid) {
+			return nil, fmt.Errorf("%w: %s (pid %d)", ErrLocked, path, pid)
+		}
+		// Owner is gone (or the lock is unreadable garbage): steal it and
+		// retry the exclusive create. The remove/create window is racy
+		// against another stealer, which is why we loop instead of
+		// assuming the next create succeeds.
+		if rmErr := os.Remove(path); rmErr != nil && !os.IsNotExist(rmErr) {
+			return nil, rmErr
+		}
+	}
+	return nil, fmt.Errorf("persist: lock %s: could not acquire after retries", path)
+}
+
+// Release drops the lock. Releasing twice is a no-op.
+func (l *Lock) Release() error {
+	if err := os.Remove(l.path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// Path returns the lock file's path.
+func (l *Lock) Path() string { return l.path }
+
+func readLockPID(path string) (int, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(strings.TrimSpace(string(b)))
+}
+
+// pidAlive reports whether a process with this PID exists. Signal 0
+// probes without delivering anything; EPERM still means "exists".
+func pidAlive(pid int) bool {
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = p.Signal(syscall.Signal(0))
+	return err == nil || errors.Is(err, syscall.EPERM)
+}

@@ -1,0 +1,127 @@
+package persist
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Writer is an io.WriteCloser that stages output in a temp file and
+// publishes it at path only on Commit. The intended shape is
+//
+//	w, err := persist.NewWriter(path)
+//	if err != nil { ... }
+//	defer w.Close() // no-op after a successful Commit
+//	... stream into w ...
+//	return w.Commit()
+//
+// Close before Commit aborts: the temp file is removed and path is
+// untouched, so every error return between NewWriter and Commit leaves
+// the destination exactly as it was. Commit syncs the file, renames it
+// over path, and syncs the directory; afterwards Close is a no-op, so
+// the defer/Commit pairing above is safe on all paths.
+type Writer struct {
+	f         File
+	tmp       string
+	path      string
+	perm      fs.FileMode
+	writeErr  error
+	committed bool
+	closed    bool
+}
+
+// NewWriter stages an atomic write of path with permissions 0o644.
+func NewWriter(path string) (*Writer, error) {
+	return NewWriterPerm(path, 0o644)
+}
+
+// NewWriterPerm stages an atomic write of path with the given final
+// permissions (the staging temp file is 0o600 until Commit).
+func NewWriterPerm(path string, perm fs.FileMode) (*Writer, error) {
+	osf, err := tempIn(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{f: wrap(osf), tmp: osf.Name(), path: path, perm: perm}, nil
+}
+
+// Write implements io.Writer, streaming into the staged temp file. The
+// first write error sticks: later writes and Commit refuse with it, so a
+// caller that checks only Commit's error still cannot publish a torn file.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed || w.committed {
+		return 0, fmt.Errorf("persist: write to %s after close", w.path)
+	}
+	if w.writeErr != nil {
+		return 0, w.writeErr
+	}
+	n, err := w.f.Write(p)
+	if err != nil {
+		w.writeErr = fmt.Errorf("persist: writing %s: %w", w.path, err)
+		return n, w.writeErr
+	}
+	return n, nil
+}
+
+// Commit makes the staged content durable and visible at path: fsync the
+// temp file, set final permissions, close, rename over path, fsync the
+// directory. On any failure the temp file is removed, path keeps its
+// previous content, and the error is returned.
+func (w *Writer) Commit() error {
+	if w.committed {
+		return nil
+	}
+	if w.closed {
+		return fmt.Errorf("persist: commit of %s after close", w.path)
+	}
+	if err := w.writeErr; err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		w.abort()
+		return fmt.Errorf("persist: syncing %s: %w", w.path, err)
+	}
+	if err := w.f.Close(); err != nil {
+		w.abort()
+		return fmt.Errorf("persist: closing %s: %w", w.path, err)
+	}
+	if err := os.Chmod(w.tmp, w.perm); err != nil {
+		w.abort()
+		return err
+	}
+	if err := os.Rename(w.tmp, w.path); err != nil {
+		w.abort()
+		return fmt.Errorf("persist: publishing %s: %w", w.path, err)
+	}
+	w.committed = true
+	w.closed = true
+	if err := syncDir(filepath.Dir(w.path)); err != nil {
+		return fmt.Errorf("persist: syncing directory of %s: %w", w.path, err)
+	}
+	Count("persist.commit")
+	return nil
+}
+
+// Close without a prior Commit aborts the write: the temp file is
+// removed and the destination is untouched. After Commit it is a no-op,
+// so it can be deferred unconditionally.
+func (w *Writer) Close() error {
+	if w.closed || w.committed {
+		return nil
+	}
+	w.f.Close()
+	w.abort()
+	return nil
+}
+
+// abort discards the temp file and marks the writer dead. Any error from
+// closing or removing the temp is intentionally dropped — the write is
+// being thrown away, and the destination was never touched.
+func (w *Writer) abort() {
+	os.Remove(w.tmp)
+	w.closed = true
+	Count("persist.abort")
+}

@@ -1,12 +1,26 @@
 # Convenience targets; everything is plain `go` underneath (no deps).
 
-.PHONY: build test test-race vet bench bench-json bench-check cover experiments experiments-quick verify-resume examples fmt
+.PHONY: build test test-race vet vet-strict lint bench bench-json bench-check cover experiments experiments-quick verify-resume examples fmt
 
 build:
 	go build ./...
 
 vet:
 	go vet ./...
+
+# Repo-specific invariants (durability, cancellation, float comparisons,
+# typed errors, clock injection, metric naming, error handling) enforced by
+# the stdlib-only analyzer in internal/lint. Non-zero exit on any finding;
+# suppress individual lines with `//lint:ignore <rule> <reason>`.
+lint:
+	go run ./cmd/graphiolint ./...
+
+# The strictest static gate the repo has (used by the CI lint job):
+# gofmt cleanliness, the full vet suite, then the repo's own analyzer.
+vet-strict:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	go vet ./...
+	go run ./cmd/graphiolint ./...
 
 test:
 	go vet ./...

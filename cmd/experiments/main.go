@@ -104,7 +104,7 @@ func main() {
 		cfg.AfterExperiment = func(string) {
 			if committed++; committed == *crashAfter {
 				p, _ := os.FindProcess(os.Getpid())
-				p.Kill()
+				_ = p.Kill()
 				select {} // never runs on: Kill is SIGKILL
 			}
 		}
@@ -121,7 +121,7 @@ func main() {
 	// The sweep runs under the obs context: SIGINT/SIGTERM and the -timeout
 	// budget cancel it, RunAll stops at the next boundary with every
 	// completed CSV on disk, and Finish still flushes telemetry below.
-	start := time.Now()
+	start := obs.Now()
 	tables, err := experiments.RunAll(ofl.Context(), cfg, *out, names, os.Stdout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
@@ -136,7 +136,7 @@ func main() {
 			renderFigure(t)
 		}
 	}
-	fmt.Printf("total %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("total %v\n", obs.Since(start).Round(time.Millisecond))
 	finish()
 	if ofl.Interrupted() {
 		os.Exit(130)
@@ -153,7 +153,7 @@ func plotSaved(dir string) error {
 			continue // figure not present in this results directory
 		}
 		records, err := csv.NewReader(f).ReadAll()
-		f.Close()
+		_ = f.Close()
 		if err != nil {
 			return fmt.Errorf("reading %s.csv: %w", name, err)
 		}

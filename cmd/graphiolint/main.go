@@ -1,0 +1,105 @@
+// Command graphiolint runs the repo's custom static-analysis pass
+// (internal/lint) over package patterns and fails the build on findings.
+//
+// Usage:
+//
+//	graphiolint [-json] [-rules a,b] [-list] [patterns...]
+//
+// Patterns default to ./... and follow the go tool's shape ("./...",
+// "./internal/core", "internal/..."). Exit status: 0 clean, 1 findings,
+// 2 usage or load error. Findings are suppressed in place with
+//
+//	//lint:ignore <rule> <reason>
+//
+// on or directly above the offending line; the reason is mandatory and a
+// suppression that matches nothing is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"graphio/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("graphiolint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	rulesFlag := fs.String("rules", "", "comma-separated rule subset to run (default: all)")
+	list := fs.Bool("list", false, "print the rule catalog and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	rules := lint.DefaultRules()
+	if *list {
+		for _, r := range rules {
+			fmt.Printf("%-15s %s\n", r.Name(), r.Doc())
+		}
+		fmt.Printf("%-15s %s\n", lint.DirectiveRule, "meta: malformed or unknown-rule //lint:ignore directives")
+		fmt.Printf("%-15s %s\n", lint.UnusedSuppRule, "meta: //lint:ignore directives that suppress nothing")
+		return 0
+	}
+	if *rulesFlag != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*rulesFlag, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var subset []lint.Rule
+		for _, r := range rules {
+			if want[r.Name()] {
+				subset = append(subset, r)
+				delete(want, r.Name())
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "graphiolint: unknown rule %q (see -list)\n", name)
+			return 2
+		}
+		rules = subset
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "graphiolint: %v\n", err)
+		return 2
+	}
+	root, modpath, err := lint.FindModule(cwd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "graphiolint: %v\n", err)
+		return 2
+	}
+
+	runner := &lint.Runner{Loader: lint.NewLoader(root, modpath), Rules: rules}
+	diags, err := runner.Run(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "graphiolint: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "graphiolint: %v\n", err)
+			return 2
+		}
+	} else if err := lint.WriteText(os.Stdout, diags); err != nil {
+		fmt.Fprintf(os.Stderr, "graphiolint: %v\n", err)
+		return 2
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "graphiolint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

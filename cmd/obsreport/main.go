@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"graphio/internal/linalg"
 	"graphio/internal/obs"
 )
 
@@ -417,8 +418,8 @@ func compare(w io.Writer, a, b *input, failOver float64) (int, error) {
 }
 
 func deltaPct(old, new float64) (float64, bool) {
-	if old == 0 {
-		return 0, new == 0
+	if linalg.EqZero(old) {
+		return 0, linalg.EqZero(new)
 	}
 	return (new - old) / old * 100, true
 }

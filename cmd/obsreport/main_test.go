@@ -10,6 +10,7 @@ import (
 func write(t *testing.T, name, content string) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), name)
+	//lint:ignore persist-writes test fixture in t.TempDir; durability machinery would only add fsync noise
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}

@@ -25,7 +25,7 @@ func cmdAnalyze(args []string) (err error) {
 	samples := fs.Int("samples", 20, "random orders for the upper-bound search")
 	mcTimeout := fs.Duration("mincut-timeout", 30*time.Second, "time box for the baseline sweep")
 	ofl := obs.AddFlags(fs)
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse cannot return an error
 	if err := ofl.Begin(); err != nil {
 		return err
 	}

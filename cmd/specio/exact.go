@@ -22,7 +22,7 @@ func cmdExact(args []string) (err error) {
 	M := fs.Int("M", 2, "fast memory size in elements")
 	maxStates := fs.Int("max-states", 0, "abort beyond this many search states (0 = default)")
 	ofl := obs.AddFlags(fs)
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse cannot return an error
 	if err := ofl.Begin(); err != nil {
 		return err
 	}
@@ -48,7 +48,7 @@ func cmdHier(args []string) (err error) {
 	load := graphFlags(fs)
 	capsFlag := fs.String("caps", "4,16,64", "comma-separated level capacities, fastest first")
 	ofl := obs.AddFlags(fs)
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse cannot return an error
 	if err := ofl.Begin(); err != nil {
 		return err
 	}
@@ -89,7 +89,7 @@ func cmdExpansion(args []string) (err error) {
 	fs := flag.NewFlagSet("expansion", flag.ExitOnError)
 	load := graphFlags(fs)
 	ofl := obs.AddFlags(fs)
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse cannot return an error
 	if err := ofl.Begin(); err != nil {
 		return err
 	}

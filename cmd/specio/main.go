@@ -162,7 +162,7 @@ func cmdGen(args []string) (err error) {
 	format := fs.String("format", "json", "output format: json|dot")
 	out := fs.String("o", "", "output file (default stdout)")
 	ofl := obs.AddFlags(fs)
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse cannot return an error
 	if err := ofl.Begin(); err != nil {
 		return err
 	}
@@ -226,7 +226,7 @@ func cmdBound(args []string) (err error) {
 	procs := fs.Int("p", 1, "processors (Theorem 6 when > 1)")
 	solver := fs.String("solver", "auto", "eigensolver: auto|dense|lanczos|power")
 	ofl := obs.AddFlags(fs)
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse cannot return an error
 	if err := ofl.Begin(); err != nil {
 		return err
 	}
@@ -243,14 +243,14 @@ func cmdBound(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	start := time.Now()
+	start := obs.Now()
 	res, err := core.SpectralBoundContext(ofl.Context(), g, core.Options{
 		M: *M, MaxK: *maxK, Laplacian: kind, Processors: *procs, Solver: sol,
 	})
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
+	elapsed := obs.Since(start)
 	fmt.Printf("graph       %s (n=%d, m=%d, max in-deg=%d, max out-deg=%d)\n",
 		g.Name(), g.N(), g.M(), g.MaxInDeg(), g.MaxOutDeg())
 	fmt.Printf("laplacian   %v   solver %v   h=%d   M=%d   p=%d\n",
@@ -283,7 +283,7 @@ func cmdSpectrum(args []string) (err error) {
 	lap := fs.String("laplacian", "normalized", "normalized or original")
 	solver := fs.String("solver", "auto", "auto|dense|lanczos|power")
 	ofl := obs.AddFlags(fs)
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse cannot return an error
 	if err := ofl.Begin(); err != nil {
 		return err
 	}
@@ -317,7 +317,7 @@ func cmdMinCut(args []string) (err error) {
 	timeout := fs.Duration("timeout", 0, "stop the per-vertex sweep after this long (0 = never)")
 	maxV := fs.Int("max-vertices", 0, "evaluate at most this many vertices (0 = all)")
 	ofl := obs.AddFlags(fs)
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse cannot return an error
 	if err := ofl.Begin(); err != nil {
 		return err
 	}
@@ -352,7 +352,7 @@ func cmdSimulate(args []string) (err error) {
 	seed := fs.Int64("order-seed", 1, "seed for the random order search")
 	anneal := fs.Int("anneal", 0, "refine the best order with this many annealing steps")
 	ofl := obs.AddFlags(fs)
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse cannot return an error
 	if err := ofl.Begin(); err != nil {
 		return err
 	}

@@ -21,6 +21,7 @@ func Binomial(n, k int) int64 {
 		return 0
 	}
 	if n > 62 {
+		//lint:ignore no-panic domain limit: int64 Binomial is exact only for n ≤ 62; callers pass graph levels far below it
 		panic("analytic: Binomial overflow range")
 	}
 	if k > n-k {

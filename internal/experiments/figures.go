@@ -10,6 +10,7 @@ import (
 	"graphio/internal/graph"
 	"graphio/internal/laplacian"
 	"graphio/internal/mincut"
+	"graphio/internal/obs"
 )
 
 // graphBounds carries everything the figure tables need for one graph:
@@ -29,7 +30,7 @@ type graphBounds struct {
 // sweep once per graph.
 func computeBounds(ctx context.Context, cfg Config, g *graph.Graph, wantMinCut bool) (*graphBounds, error) {
 	gb := &graphBounds{g: g}
-	start := time.Now()
+	start := obs.Now()
 	// Explicitly Theorem 4: spectralAt reapplies BoundFromEigenvalues with
 	// divisor 1, which is only sound for the normalized Laplacian.
 	res, err := core.SpectralBoundContext(ctx, g, core.Options{
@@ -39,7 +40,7 @@ func computeBounds(ctx context.Context, cfg Config, g *graph.Graph, wantMinCut b
 		return nil, fmt.Errorf("spectral bound for %s: %w", g.Name(), err)
 	}
 	gb.eigs = res.Eigenvalues
-	gb.spectralTime = time.Since(start)
+	gb.spectralTime = obs.Since(start)
 
 	if wantMinCut {
 		if cfg.MinCutMaxN > 0 && g.N() > cfg.MinCutMaxN {

@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"graphio/internal/obs"
 	"graphio/internal/persist"
 )
 
@@ -140,19 +141,19 @@ func openManifest(outDir string, cfg Config, resume bool) (*sweepManifest, error
 		return nil, err
 	}
 	if _, err := persist.RemoveStaleTemps(outDir); err != nil {
-		lock.Release()
+		_ = lock.Release()
 		return nil, err
 	}
 	path := filepath.Join(outDir, ManifestName)
 	if !resume {
 		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
-			lock.Release()
+			_ = lock.Release()
 			return nil, err
 		}
 	}
 	journal, records, err := persist.OpenJournal(path)
 	if err != nil {
-		lock.Release()
+		_ = lock.Release()
 		return nil, fmt.Errorf("experiments: opening sweep manifest: %w", err)
 	}
 	m := &sweepManifest{journal: journal, lock: lock, hash: cfg.Hash(), prior: map[string]manifestRecord{}}
@@ -173,7 +174,7 @@ func openManifest(outDir string, cfg Config, resume bool) (*sweepManifest, error
 }
 
 func (m *sweepManifest) append(rec manifestRecord) error {
-	rec.Time = time.Now().UTC().Format(time.RFC3339)
+	rec.Time = obs.Now().UTC().Format(time.RFC3339)
 	b, err := json.Marshal(rec)
 	if err != nil {
 		return err
@@ -235,8 +236,8 @@ func (m *sweepManifest) reusable(outDir, name string) (*Table, manifestRecord, b
 }
 
 func (m *sweepManifest) close() {
-	m.journal.Close()
-	m.lock.Release()
+	_ = m.journal.Close()
+	_ = m.lock.Release()
 }
 
 // sha256File hashes a file's current content.

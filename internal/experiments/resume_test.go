@@ -137,6 +137,7 @@ func TestResumeArtifactHashMismatchRerunsJustThatOne(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Tamper with one committed artifact.
+	//lint:ignore persist-writes deliberately tampers with a committed artifact to prove resume re-verifies hashes
 	if err := os.WriteFile(filepath.Join(dir, "beta.csv"), []byte("k,v\n9,9\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -193,6 +194,7 @@ func TestResumeToleratesTornManifestRecord(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Crash mid-append: a half-written record with no terminating newline.
+	//lint:ignore persist-writes simulates a torn manifest tail by appending raw bytes behind persist's back
 	f, err := os.OpenFile(filepath.Join(dir, ManifestName), os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		t.Fatal(err)
@@ -224,6 +226,7 @@ func TestResumeRacingSweepGetsTypedLockError(t *testing.T) {
 	}
 	// A lock whose owner is dead must not wedge the resume.
 	lock.Release()
+	//lint:ignore persist-writes forges a stale lock file from a dead PID to test lock stealing
 	if err := os.WriteFile(filepath.Join(dir, manifestLockName), []byte("4194000\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}

@@ -143,7 +143,7 @@ func runRunners(ctx context.Context, cfg Config, outDir string, names []string, 
 			continue
 		}
 		fmt.Fprintf(log, "== running %s\n", r.Name)
-		runStart := time.Now()
+		runStart := obs.Now()
 		stop := heartbeat(cfg.Progress, r.Name, runStart)
 		ectx := ctx
 		cancel := context.CancelFunc(func() {})
@@ -153,7 +153,8 @@ func runRunners(ctx context.Context, cfg Config, outDir string, names []string, 
 		t, err := r.Run(ectx, cfg)
 		cancel()
 		stop()
-		elapsed := time.Since(runStart)
+		elapsed := obs.Since(runStart)
+		//lint:ignore metric-name bounded family experiments.<runner>; runner names are the static Runners registry
 		obs.Observe("experiments."+r.Name, elapsed)
 		if cfg.Progress != nil {
 			fmt.Fprintf(cfg.Progress, "experiments: %s done in %v\n", r.Name, elapsed.Round(time.Millisecond))
@@ -195,6 +196,7 @@ func runRunners(ctx context.Context, cfg Config, outDir string, names []string, 
 	}
 	if outDir != "" && len(tables) > 0 {
 		var buf bytes.Buffer
+		//lint:ignore ctx-loop report.txt must still render after cancellation — completed experiments are preserved by design
 		for _, t := range tables {
 			if err := t.WriteText(&buf); err != nil {
 				return tables, err
@@ -250,7 +252,7 @@ func heartbeat(w io.Writer, name string, start time.Time) (stop func()) {
 						time.Duration(deepest.ElapsedNS).Round(time.Second))
 				}
 				fmt.Fprintf(w, "experiments: %s still running (%v elapsed%s)\n",
-					name, time.Since(start).Round(time.Second), where)
+					name, obs.Since(start).Round(time.Second), where)
 			}
 		}
 	}()

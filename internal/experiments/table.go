@@ -24,6 +24,7 @@ type Table struct {
 // AddRow appends a row; it must match the column count.
 func (t *Table) AddRow(cells ...string) {
 	if len(cells) != len(t.Columns) {
+		//lint:ignore no-panic a row/column mismatch is a shape bug in the caller; a malformed table must fail loudly, not render
 		panic(fmt.Sprintf("experiments: row of %d cells in table %q with %d columns",
 			len(cells), t.Name, len(t.Columns)))
 	}
@@ -87,6 +88,7 @@ func (t *Table) WriteText(w io.Writer) error {
 // fnum formats a float compactly for table cells.
 func fnum(v float64) string {
 	switch {
+	//lint:ignore float-eq detects exactly-integer values for %d formatting; a tolerance would misprint near-integers
 	case v == float64(int64(v)) && v < 1e15 && v > -1e15:
 		return fmt.Sprintf("%d", int64(v))
 	case v >= 1e6 || v <= -1e6:

@@ -10,6 +10,7 @@ import (
 	"graphio/internal/gen"
 	"graphio/internal/graph"
 	"graphio/internal/laplacian"
+	"graphio/internal/linalg"
 	"graphio/internal/mincut"
 	"graphio/internal/pebble"
 )
@@ -64,6 +65,9 @@ func TableFFT(ctx context.Context, cfg Config) (*Table, error) {
 			"computed_T5_fullspec", "hong_kung", "closed/hk"},
 	}
 	for _, l := range cfg.FFTLevels {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		g := gen.FFT(l)
 		for _, M := range cfg.FFTMemories {
 			if g.MaxInDeg() > M {
@@ -191,9 +195,15 @@ func TableBestK(ctx context.Context, cfg Config) (*Table, error) {
 	}
 	var entries []entry
 	for _, l := range cfg.FFTLevels {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		entries = append(entries, entry{gen.FFT(l), cfg.FFTMemories})
 	}
 	for _, l := range cfg.BHKCities {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		entries = append(entries, entry{gen.BellmanHeldKarp(l), cfg.BHKMemories})
 	}
 	for _, e := range entries {
@@ -247,7 +257,7 @@ func TableThm4vs5(ctx context.Context, cfg Config) (*Table, error) {
 			ratio := "inf"
 			if t5.Bound > 0 {
 				ratio = fmt.Sprintf("%.3f", t4.Bound/t5.Bound)
-			} else if t4.Bound == 0 {
+			} else if linalg.EqZero(t4.Bound) {
 				ratio = "-"
 			}
 			t.AddRow(g.Name(), inum(g.N()), inum(M), fnum(t4.Bound), fnum(t5.Bound), ratio)

@@ -235,6 +235,9 @@ func TableLambda2(ctx context.Context, cfg Config) (*Table, error) {
 		Columns: []string{"n", "p", "sampled_lambda2", "predicted", "ratio"},
 	}
 	for _, n := range cfg.ERSizes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p := cfg.ERP0 * math.Log(float64(n)) / float64(n-1)
 		g := gen.ErdosRenyiDAG(n, p, cfg.Seed)
 		L, err := laplacian.BuildCSR(g, laplacian.Original)

@@ -27,6 +27,9 @@ func TableHier(ctx context.Context, cfg Config) (*Table, error) {
 		gen.BellmanHeldKarp(9),
 	}
 	for _, g := range graphs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		caps := []int{4, 12, 48}
 		if g.MaxInDeg() > caps[0] {
 			caps[0] = g.MaxInDeg()

@@ -79,7 +79,7 @@ func (o *Op) MatVec(dst, src []float64) {
 	}
 	if o.NoiseFrom > 0 && n >= o.NoiseFrom && len(dst) > 0 {
 		amp := o.NoiseAmp
-		if amp == 0 {
+		if linalg.EqZero(amp) {
 			amp = 1.0
 		}
 		for i := range dst {

@@ -20,6 +20,7 @@ import (
 // n = 2 this is the 7-vertex graph of the paper's Figure 1.
 func InnerProduct(n int) *graph.Graph {
 	if n < 1 {
+		//lint:ignore no-panic generator parameter contract: misuse is a programmer error, mirroring stdlib constructors
 		panic("gen: InnerProduct needs n ≥ 1")
 	}
 	tr := trace.New()
@@ -39,6 +40,7 @@ func InnerProduct(n int) *graph.Graph {
 // (t ≥ 1) consumes the column t−1 vertices at rows r and r XOR 2^(t−1).
 func FFT(l int) *graph.Graph {
 	if l < 0 {
+		//lint:ignore no-panic generator parameter contract: misuse is a programmer error, mirroring stdlib constructors
 		panic("gen: FFT needs l ≥ 0")
 	}
 	rows := 1 << l
@@ -65,6 +67,7 @@ func Butterfly(l int) *graph.Graph { return FFT(l) }
 // adds, giving 2n² inputs, n³ multiplies, and n²(n−1) adds.
 func NaiveMatMul(n int) *graph.Graph {
 	if n < 1 {
+		//lint:ignore no-panic generator parameter contract: misuse is a programmer error, mirroring stdlib constructors
 		panic("gen: NaiveMatMul needs n ≥ 1")
 	}
 	tr := trace.New()
@@ -90,6 +93,7 @@ func NaiveMatMul(n int) *graph.Graph {
 // arithmetic circuit.
 func NaiveMatMulNary(n int) *graph.Graph {
 	if n < 1 {
+		//lint:ignore no-panic generator parameter contract: misuse is a programmer error, mirroring stdlib constructors
 		panic("gen: NaiveMatMulNary needs n ≥ 1")
 	}
 	tr := trace.New()
@@ -116,6 +120,7 @@ func NaiveMatMulNary(n int) *graph.Graph {
 // multiplication count the published bound speaks about.
 func Strassen(n int) *graph.Graph {
 	if n < 1 || n&(n-1) != 0 {
+		//lint:ignore no-panic generator parameter contract: misuse is a programmer error, mirroring stdlib constructors
 		panic("gen: Strassen needs n a positive power of two")
 	}
 	tr := trace.New()
@@ -210,6 +215,7 @@ func strassenRec(a, b [][]trace.Value) [][]trace.Value {
 // (paper §5.1, Figure 4). It has 2^l vertices.
 func BellmanHeldKarp(l int) *graph.Graph {
 	if l < 1 {
+		//lint:ignore no-panic generator parameter contract: misuse is a programmer error, mirroring stdlib constructors
 		panic("gen: BellmanHeldKarp needs l ≥ 1")
 	}
 	n := 1 << l
@@ -236,6 +242,7 @@ func Hypercube(l int) *graph.Graph { return BellmanHeldKarp(l) }
 // vertex order makes it a valid computation graph.
 func ErdosRenyiDAG(n int, p float64, seed int64) *graph.Graph {
 	if n < 0 || p < 0 || p > 1 {
+		//lint:ignore no-panic generator parameter contract: misuse is a programmer error, mirroring stdlib constructors
 		panic("gen: ErdosRenyiDAG needs n ≥ 0 and p in [0,1]")
 	}
 	rng := rand.New(rand.NewSource(seed))
@@ -260,6 +267,7 @@ func ErdosRenyiDAG(n int, p float64, seed int64) *graph.Graph {
 // cannot: bounded depth-to-width ratios and uniform in-degrees.
 func RandomLayeredDAG(layers, width, maxIn int, seed int64) *graph.Graph {
 	if layers < 1 || width < 1 || maxIn < 1 {
+		//lint:ignore no-panic generator parameter contract: misuse is a programmer error, mirroring stdlib constructors
 		panic("gen: RandomLayeredDAG needs positive dimensions")
 	}
 	rng := rand.New(rand.NewSource(seed))
@@ -302,6 +310,7 @@ func Chain(n int) *graph.Graph {
 // root output.
 func BinaryTreeReduce(depth int) *graph.Graph {
 	if depth < 0 {
+		//lint:ignore no-panic generator parameter contract: misuse is a programmer error, mirroring stdlib constructors
 		panic("gen: BinaryTreeReduce needs depth ≥ 0")
 	}
 	tr := trace.New()
@@ -321,6 +330,7 @@ func BinaryTreeReduce(depth int) *graph.Graph {
 // distance, cumulative sums).
 func Grid2D(rows, cols int) *graph.Graph {
 	if rows < 1 || cols < 1 {
+		//lint:ignore no-panic generator parameter contract: misuse is a programmer error, mirroring stdlib constructors
 		panic("gen: Grid2D needs positive dimensions")
 	}
 	b := graph.NewBuilder(rows*cols, 2*rows*cols)

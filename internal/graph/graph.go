@@ -63,6 +63,7 @@ func (b *Builder) AddVertex() int {
 // allocated IDs are contiguous.
 func (b *Builder) AddVertices(k int) int {
 	if k < 0 {
+		//lint:ignore no-panic builder misuse is a programmer error; builders have no error channel by design
 		panic("graph: AddVertices with negative count")
 	}
 	id := b.n
@@ -92,6 +93,7 @@ func (b *Builder) AddEdge(u, v int) error {
 // indices are correct by construction.
 func (b *Builder) MustEdge(u, v int) {
 	if err := b.AddEdge(u, v); err != nil {
+		//lint:ignore no-panic Must* contract: the panicking variant exists for generators whose indices are correct by construction
 		panic(err)
 	}
 }
@@ -156,6 +158,7 @@ func (b *Builder) Build() (*Graph, error) {
 func (b *Builder) MustBuild() *Graph {
 	g, err := b.Build()
 	if err != nil {
+		//lint:ignore no-panic Must* contract: the panicking variant exists for generators whose indices are correct by construction
 		panic(err)
 	}
 	return g

@@ -92,13 +92,16 @@ func MinPartition(g *graph.Graph, S int, opt Options) (int, error) {
 		}
 		return true
 	}
-	dominatorSize := func(part uint32) int {
+	dominatorSize := func(part uint32) (int, error) {
 		if d, ok := domCache[part]; ok {
-			return d
+			return d, nil
 		}
-		d := minDominator(g, part)
+		d, err := minDominator(g, part)
+		if err != nil {
+			return 0, err
+		}
 		domCache[part] = d
-		return d
+		return d, nil
 	}
 
 	// BFS over the down-set lattice: dist[D] = min parts to realize D.
@@ -129,7 +132,11 @@ func MinPartition(g *graph.Graph, S int, opt Options) (int, error) {
 			if dist[i2] != inf {
 				continue // already reached in fewer or equal parts
 			}
-			if dominatorSize(part) > S {
+			ds, err := dominatorSize(part)
+			if err != nil {
+				return 0, err
+			}
+			if ds > S {
 				continue
 			}
 			dist[i2] = di + 1
@@ -168,40 +175,42 @@ func enumerateDownSets(n int, preds []uint32, cap int) ([]uint32, error) {
 
 // minDominator computes the minimum size of a vertex set meeting every
 // path from the graph's sources to the given part, as a min vertex s-t cut
-// (vertices inside the part may themselves be dominators).
-func minDominator(g *graph.Graph, part uint32) int {
+// (vertices inside the part may themselves be dominators). The network
+// indices are in range by construction, so errors here indicate a bug in
+// the reduction and surface as wrapped errors rather than panics.
+func minDominator(g *graph.Graph, part uint32) (int, error) {
 	n := g.N()
 	net := maxflow.NewNetwork(2*n + 2)
 	s, t := 2*n, 2*n+1
 	for u := 0; u < n; u++ {
 		if err := net.AddEdge(2*u, 2*u+1, 1); err != nil {
-			panic(err) // indices are in range by construction
+			return 0, fmt.Errorf("hongkung: dominator network: %w", err)
 		}
 	}
 	for x := 0; x < n; x++ {
 		for _, y := range g.Succ(x) {
 			if err := net.AddEdge(2*x+1, 2*int(y), maxflow.Inf); err != nil {
-				panic(err)
+				return 0, fmt.Errorf("hongkung: dominator network: %w", err)
 			}
 		}
 	}
 	for u := 0; u < n; u++ {
 		if g.InDeg(u) == 0 {
 			if err := net.AddEdge(s, 2*u, maxflow.Inf); err != nil {
-				panic(err)
+				return 0, fmt.Errorf("hongkung: dominator network: %w", err)
 			}
 		}
 		if part&(1<<uint(u)) != 0 {
 			if err := net.AddEdge(2*u+1, t, maxflow.Inf); err != nil {
-				panic(err)
+				return 0, fmt.Errorf("hongkung: dominator network: %w", err)
 			}
 		}
 	}
 	flow, err := net.MaxFlow(s, t)
 	if err != nil {
-		panic(err)
+		return 0, fmt.Errorf("hongkung: dominator max-flow: %w", err)
 	}
-	return int(flow)
+	return int(flow), nil
 }
 
 // Bound returns the Hong-Kung lower bound on the *total* I/O of any

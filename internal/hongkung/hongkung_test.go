@@ -80,12 +80,12 @@ func TestMinDominatorKnownCases(t *testing.T) {
 		b.MustEdge(e[0], e[1])
 	}
 	g := b.MustBuild()
-	if d := minDominator(g, 1<<3); d != 1 {
-		t.Errorf("dominator({3}) = %d, want 1", d)
+	if d, err := minDominator(g, 1<<3); err != nil || d != 1 {
+		t.Errorf("dominator({3}) = %d, %v, want 1", d, err)
 	}
 	// Part {1,2}: dominated by {0}.
-	if d := minDominator(g, 1<<1|1<<2); d != 1 {
-		t.Errorf("dominator({1,2}) = %d, want 1", d)
+	if d, err := minDominator(g, 1<<1|1<<2); err != nil || d != 1 {
+		t.Errorf("dominator({1,2}) = %d, %v, want 1", d, err)
 	}
 }
 

@@ -2,7 +2,6 @@ package linalg
 
 import (
 	"sync/atomic"
-	"time"
 
 	"graphio/internal/obs"
 )
@@ -27,9 +26,9 @@ func (c *CountingOperator) Dim() int { return c.A.Dim() }
 // MatVec implements Operator, counting and timing the application.
 func (c *CountingOperator) MatVec(dst, src []float64) {
 	c.n.Add(1)
-	start := time.Now()
+	start := obs.Now()
 	c.A.MatVec(dst, src)
-	obs.ObserveHistDuration("linalg.matvec_ns", time.Since(start))
+	obs.ObserveHistDuration("linalg.matvec_ns", obs.Since(start))
 }
 
 // Count returns the number of MatVec applications so far.

@@ -154,7 +154,7 @@ func tred2(a [][]float64, d, e []float64, wantV bool) {
 			for k := 0; k <= l; k++ {
 				scale += math.Abs(a[i][k])
 			}
-			if scale == 0 {
+			if EqZero(scale) {
 				e[i] = a[i][l]
 			} else {
 				for k := 0; k <= l; k++ {
@@ -204,7 +204,7 @@ func tred2(a [][]float64, d, e []float64, wantV bool) {
 	for i := 0; i < n; i++ {
 		if wantV {
 			l := i - 1
-			if d[i] != 0 {
+			if !EqZero(d[i]) {
 				for j := 0; j <= l; j++ {
 					g := 0.0
 					for k := 0; k <= l; k++ {
@@ -274,7 +274,7 @@ func tql2(d, e []float64, z [][]float64) (int, error) {
 				b := c * e[i]
 				r = math.Hypot(f, g)
 				e[i+1] = r
-				if r == 0 {
+				if EqZero(r) {
 					d[i+1] -= p
 					e[m] = 0
 					underflow = true

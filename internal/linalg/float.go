@@ -1,0 +1,27 @@
+package linalg
+
+import "math"
+
+// Shared floating-point comparison helpers. The float-eq lint rule forbids
+// raw == / != on float operands everywhere in the module: spectra, bounds
+// and residuals come out of iterative solvers and exact bit equality on
+// them is almost always a latent bug. These helpers are the approved
+// spellings — each raw comparison below carries its contract in a
+// //lint:ignore directive.
+
+// EqTol reports whether a and b are within tol of each other. NaN compares
+// unequal to everything (including NaN), matching IEEE semantics; tol must
+// be non-negative. Use for value-vs-value comparisons of computed spectra,
+// bounds and residuals.
+func EqTol(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// EqZero reports whether x is exactly ±0. This is an intentionally exact
+// test: use it where zero is structural rather than numeric — a zero norm
+// that makes normalization undefined, a zero pivot that would divide by
+// zero, a zero weight that switches a formula branch. For "numerically
+// negligible" use EqTol(x, 0, tol) instead.
+func EqZero(x float64) bool {
+	return x == 0 //lint:ignore float-eq exact ±0 test is this helper's documented contract
+}

@@ -114,7 +114,7 @@ func PowerSmallestPSDContext(ctx context.Context, A Operator, c float64, h int, 
 				converged = true
 				break
 			}
-			if Normalize(bv) == 0 {
+			if EqZero(Normalize(bv)) {
 				// B annihilated the complement component; the remaining
 				// spectrum in the complement is exactly zero.
 				theta = 0
@@ -135,7 +135,7 @@ func PowerSmallestPSDContext(ctx context.Context, A Operator, c float64, h int, 
 			}
 		}
 		// theta approximates the largest eigenvalue of B in the complement.
-		if Normalize(v) == 0 {
+		if EqZero(Normalize(v)) {
 			partial := append([]float64(nil), vals...)
 			insertionSort(partial)
 			return nil, &NotConvergedError{

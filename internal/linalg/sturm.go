@@ -52,7 +52,7 @@ func TridiagEigBisect(diag, sub []float64, lo, hi int) ([]float64, error) {
 		}
 	}
 	scale := math.Max(math.Abs(gLo), math.Abs(gHi))
-	if scale == 0 {
+	if EqZero(scale) {
 		scale = 1
 	}
 	// Guard the interval so strict/loose comparisons at the endpoints
@@ -80,7 +80,7 @@ func TridiagEigBisect(diag, sub []float64, lo, hi int) ([]float64, error) {
 		d := 1.0 // sub2[0] == 0, so the i=0 step reduces to diag[0]−sigma
 		for i := 0; i < n; i++ {
 			d = diag[i] - sigma - sub2[i]/d
-			if d == 0 {
+			if EqZero(d) {
 				d = -tiny
 			}
 			if d < 0 {
@@ -96,6 +96,7 @@ func TridiagEigBisect(diag, sub []float64, lo, hi int) ([]float64, error) {
 		// Invariant: count(a) ≤ idx < count(b).
 		for iter := 0; iter < 200; iter++ {
 			mid := 0.5*a + 0.5*b // overflow-safe: a+b can exceed MaxFloat64
+			//lint:ignore float-eq bisection terminates when the midpoint collapses onto an endpoint — the comparison is exact by construction
 			if mid == a || mid == b {
 				break
 			}

@@ -26,7 +26,7 @@ func Norm2(x []float64) float64 {
 	// modest, but the cost is negligible.
 	var scale, ssq float64 = 0, 1
 	for _, v := range x {
-		if v == 0 {
+		if EqZero(v) {
 			continue
 		}
 		a := math.Abs(v)
@@ -58,7 +58,7 @@ func Scale(a float64, x []float64) {
 // norm. If x is the zero vector it is left unchanged and 0 is returned.
 func Normalize(x []float64) float64 {
 	n := Norm2(x)
-	if n == 0 {
+	if EqZero(n) {
 		return 0
 	}
 	Scale(1/n, x)

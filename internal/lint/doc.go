@@ -1,0 +1,39 @@
+// Package lint is graphiolint: a stdlib-only static analyzer that enforces
+// the repo's cross-cutting correctness invariants — the rules that earlier
+// PRs established by convention but nothing checked mechanically:
+//
+//   - persist-writes: artifact writes go through internal/persist, never
+//     raw os.Create / os.WriteFile / write-mode os.OpenFile.
+//   - ctx-loop: a function that accepts a context.Context must consult it
+//     (ctx.Err(), ctx.Done(), or passing ctx onward) inside each of its
+//     outermost for loops, so cancellation keeps working as code evolves.
+//   - float-eq: no == / != on floating-point operands; spectra and bounds
+//     are compared with tolerances (linalg.EqTol), never bit equality.
+//   - no-panic: library packages return typed errors instead of panicking;
+//     package main and _test.go files are exempt.
+//   - time-now: direct time.Now / time.Since only inside internal/obs, so
+//     all timing stays observable and clock-injectable (obs.Now, obs.Since).
+//   - metric-name: obs metric names are compile-time constants matching the
+//     pkg.name_unit convention, so cmd/obsreport can enumerate them
+//     statically.
+//   - errcheck: error results are not silently discarded in statement
+//     position (fmt, strings.Builder/bytes.Buffer writes and deferred
+//     cleanup are exempt).
+//
+// The analyzer is built only on go/parser, go/ast, go/types and
+// go/importer: packages of this module are parsed and type-checked by a
+// small loader (load.go) that resolves module-local imports from source and
+// delegates the standard library to importer.ForCompiler(..., "source", ...).
+//
+// Findings can be silenced in place with a directive comment that must name
+// the rule and carry a reason:
+//
+//	//lint:ignore <rule> <reason>
+//
+// placed either on the offending line or on its own line immediately above
+// the offending statement. A directive with no reason, naming an unknown
+// rule, or matching no diagnostic is itself reported (rules "directive" and
+// "unused-suppression"), so suppressions cannot rot silently.
+//
+// cmd/graphiolint is the CLI; `make lint` runs it over the whole module.
+package lint

@@ -1,0 +1,335 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one unit of linting: the parsed and type-checked syntax of a
+// single Go package (in-package _test.go files included) plus everything a
+// rule needs to reason about it. External test packages (package foo_test)
+// are loaded as their own unit with an importable path suffixed "_test".
+type Package struct {
+	Path  string              // import path, e.g. graphio/internal/core
+	Dir   string              // absolute directory
+	Fset  *token.FileSet      // shared across all packages of one Loader
+	Files []*ast.File         // the files being linted, sorted by filename
+	Src   map[string][]string // filename -> source split into lines
+
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []error // type-check problems; rules still run on what resolved
+}
+
+// Loader parses and type-checks packages of a single module using only the
+// standard library. Imports inside the module are resolved from source
+// relative to ModuleRoot; everything else (the standard library) goes
+// through go/importer's source-compiler importer. Loader is not safe for
+// concurrent use.
+type Loader struct {
+	ModuleRoot string // absolute path of the directory containing go.mod
+	ModulePath string // module path from go.mod, e.g. "graphio"
+	Fset       *token.FileSet
+
+	std     types.ImporterFrom
+	imports map[string]*importEntry
+}
+
+type importEntry struct {
+	pkg        *types.Package
+	err        error
+	inProgress bool
+}
+
+// NewLoader returns a Loader rooted at moduleRoot for modulePath.
+func NewLoader(moduleRoot, modulePath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: moduleRoot,
+		ModulePath: modulePath,
+		Fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		imports:    make(map[string]*importEntry),
+	}
+}
+
+// FindModule walks up from dir to the nearest go.mod and returns the module
+// root and module path.
+func FindModule(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local packages are
+// type-checked from source under ModuleRoot (non-test files only, cached);
+// the standard library is delegated to the source importer.
+func (l *Loader) ImportFrom(path, dir string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		return l.importLocal(path)
+	}
+	return l.std.ImportFrom(path, dir, 0)
+}
+
+func (l *Loader) importLocal(path string) (*types.Package, error) {
+	if e, ok := l.imports[path]; ok {
+		if e.inProgress {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+		return e.pkg, e.err
+	}
+	e := &importEntry{inProgress: true}
+	l.imports[path] = e
+	defer func() { e.inProgress = false }()
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+	dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+	files, _, err := l.parseDir(dir, false)
+	if err != nil {
+		e.err = err
+		return nil, err
+	}
+	if len(files) == 0 {
+		e.err = fmt.Errorf("lint: no Go files in %s", dir)
+		return nil, e.err
+	}
+	var errs []error
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error:       func(err error) { errs = append(errs, err) },
+	}
+	pkg, cerr := conf.Check(path, l.Fset, files, nil)
+	if cerr != nil && pkg == nil {
+		e.err = cerr
+		return nil, cerr
+	}
+	e.pkg = pkg
+	return pkg, nil
+}
+
+// parseDir parses the non-test (and, when tests is true, also the _test.go)
+// files of dir. It returns the parsed files and their sources keyed by
+// filename.
+func (l *Loader) parseDir(dir string, tests bool) ([]*ast.File, map[string][]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	src := make(map[string][]string)
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !tests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		data, err := os.ReadFile(full)
+		if err != nil {
+			return nil, nil, err
+		}
+		f, err := parser.ParseFile(l.Fset, full, data, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+		src[full] = strings.Split(string(data), "\n")
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return l.Fset.Position(files[i].Pos()).Filename < l.Fset.Position(files[j].Pos()).Filename
+	})
+	return files, src, nil
+}
+
+// LoadDir loads the lint units of a single directory: the primary package
+// (with its in-package test files) and, when present, the external test
+// package. path is the import path to assign to the primary unit.
+func (l *Loader) LoadDir(dir, path string) ([]*Package, error) {
+	all, src, err := l.parseDir(dir, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(all) == 0 {
+		return nil, nil
+	}
+	// Split into the primary package and an optional external test package.
+	var primaryName string
+	for _, f := range all {
+		n := f.Name.Name
+		if !strings.HasSuffix(n, "_test") {
+			primaryName = n
+			break
+		}
+	}
+	var primary, external []*ast.File
+	for _, f := range all {
+		if primaryName != "" && f.Name.Name == primaryName {
+			primary = append(primary, f)
+		} else {
+			external = append(external, f)
+		}
+	}
+	var out []*Package
+	if len(primary) > 0 {
+		out = append(out, l.check(path, dir, primary, src))
+	}
+	if len(external) > 0 {
+		out = append(out, l.check(path+"_test", dir, external, src))
+	}
+	return out, nil
+}
+
+func (l *Loader) check(path, dir string, files []*ast.File, src map[string][]string) *Package {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var errs []error
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error:       func(err error) { errs = append(errs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	fsrc := make(map[string][]string, len(files))
+	for _, f := range files {
+		name := l.Fset.Position(f.Pos()).Filename
+		fsrc[name] = src[name]
+	}
+	return &Package{
+		Path:       path,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Files:      files,
+		Src:        fsrc,
+		Types:      tpkg,
+		Info:       info,
+		TypeErrors: errs,
+	}
+}
+
+// Expand resolves package patterns ("./...", "./internal/core", "internal/...")
+// to directories containing Go files, relative to ModuleRoot. Directories
+// named testdata, hidden directories and underscore-prefixed directories are
+// skipped, matching the go tool's convention.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		base := filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		if !recursive {
+			if hasGoFiles(base) {
+				add(base)
+			} else {
+				return nil, fmt.Errorf("lint: no Go files in %s", base)
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if !ent.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
+			return true
+		}
+	}
+	return false
+}
+
+// PathFor returns the import path the Loader would assign to dir.
+func (l *Loader) PathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	rel = filepath.ToSlash(rel)
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	if rel == ".." || strings.HasPrefix(rel, "../") {
+		return "", fmt.Errorf("lint: %s is outside module root %s", dir, l.ModuleRoot)
+	}
+	return l.ModulePath + "/" + rel, nil
+}

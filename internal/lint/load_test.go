@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFindModule(t *testing.T) {
+	root, path, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != "graphio" {
+		t.Errorf("module path = %q, want graphio", path)
+	}
+	if filepath.Base(filepath.Dir(filepath.Dir(root))) == "" {
+		t.Errorf("implausible module root %q", root)
+	}
+	if _, _, err := FindModule(t.TempDir()); err == nil {
+		t.Error("FindModule outside any module succeeded, want error")
+	}
+}
+
+func TestExpand(t *testing.T) {
+	ld := newFixtureLoader(t)
+
+	dirs, err := ld.Expand([]string{"./walk/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rel []string
+	for _, d := range dirs {
+		r, err := filepath.Rel(ld.ModuleRoot, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel = append(rel, filepath.ToSlash(r))
+	}
+	want := []string{"walk", "walk/sub"}
+	if strings.Join(rel, " ") != strings.Join(want, " ") {
+		t.Errorf("Expand(./walk/...) = %v, want %v (testdata and _skip excluded)", rel, want)
+	}
+
+	one, err := ld.Expand([]string{"./walk/sub"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || filepath.Base(one[0]) != "sub" {
+		t.Errorf("Expand(./walk/sub) = %v, want the single sub directory", one)
+	}
+
+	if _, err := ld.Expand([]string{"./no-such-dir"}); err == nil {
+		t.Error("Expand of a missing directory succeeded, want error")
+	}
+}
+
+func TestPathFor(t *testing.T) {
+	ld := newFixtureLoader(t)
+	got, err := ld.PathFor(filepath.Join(ld.ModuleRoot, "walk", "sub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "fix/walk/sub" {
+		t.Errorf("PathFor = %q, want fix/walk/sub", got)
+	}
+	root, err := ld.PathFor(ld.ModuleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != "fix" {
+		t.Errorf("PathFor(root) = %q, want fix", root)
+	}
+	if _, err := ld.PathFor(filepath.Dir(ld.ModuleRoot)); err == nil {
+		t.Error("PathFor outside the module root succeeded, want error")
+	}
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck flags calls in statement position (plain statements and go
+// statements) that silently discard an error result. The persistence PR
+// made "every write can fail and says so" a load-bearing property; this
+// keeps new call sites honest. Deliberate discards are written `_ = f()`
+// so they survive review, or carry a //lint:ignore errcheck reason.
+//
+// Exempt by design: fmt.* (terminal output, conventionally unchecked),
+// methods on strings.Builder and bytes.Buffer (their error results are
+// documented always-nil), defer statements (read-path cleanup like
+// defer f.Close() is conventional; write paths go through persist which
+// checks Close), and _test.go files.
+type ErrCheck struct{}
+
+// NewErrCheck returns the rule.
+func NewErrCheck() *ErrCheck { return &ErrCheck{} }
+
+func (*ErrCheck) Name() string { return "errcheck" }
+
+func (*ErrCheck) Doc() string {
+	return "no silently discarded error results in statement position (fmt, Builder/Buffer, defer, _test.go exempt)"
+}
+
+// Check implements Rule.
+func (r *ErrCheck) Check(p *Package, report Reporter) {
+	for _, f := range p.Files {
+		if isTestPos(p, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = s.Call
+			}
+			if call == nil || !returnsError(p, call) || r.exemptCallee(p, call) {
+				return true
+			}
+			report(call.Pos(), "error result discarded; handle it, assign to _ explicitly, or //lint:ignore errcheck <why>")
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's only or final result is error.
+func returnsError(p *Package, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	var last types.Type
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return false
+		}
+		last = t.At(t.Len() - 1).Type()
+	default:
+		last = t
+	}
+	named, ok := last.(*types.Named)
+	return ok && named.Obj() != nil && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func (r *ErrCheck) exemptCallee(p *Package, call *ast.CallExpr) bool {
+	obj := useOf(p, call.Fun)
+	if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		return true
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := p.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	t := s.Recv()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq forbids == and != between floating-point operands: spectra,
+// bounds and residuals are the products of iterative solvers, and exact bit
+// equality on them is almost always a latent bug (PR 3's fallback chain
+// exists precisely because eigenvalues land within tolerances, not on
+// exact values). Compare through linalg.EqTol / linalg.EqZero instead.
+// The NaN self-comparison idiom (x != x) is recognized and allowed, and
+// _test.go files are exempt — golden tests may assert bit-identical output
+// on purpose (the resume suite does).
+type FloatEq struct{}
+
+// NewFloatEq returns the rule.
+func NewFloatEq() *FloatEq { return &FloatEq{} }
+
+func (*FloatEq) Name() string { return "float-eq" }
+
+func (*FloatEq) Doc() string {
+	return "no ==/!= on float operands; use linalg.EqTol/EqZero (NaN x!=x idiom and _test.go exempt)"
+}
+
+// Check implements Rule.
+func (r *FloatEq) Check(p *Package, report Reporter) {
+	for _, f := range p.Files {
+		if isTestPos(p, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatExpr(p, be.X) && !isFloatExpr(p, be.Y) {
+				return true
+			}
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true // NaN idiom: x != x (or the degenerate x == x)
+			}
+			report(be.Pos(), "%s on floating-point operands is exact bit equality; use linalg.EqTol/EqZero or justify with //lint:ignore float-eq <why>", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloatExpr(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// MetricName keeps the obs metric namespace statically enumerable: every
+// counter/gauge/timer/histogram name handed to internal/obs must be a
+// compile-time string constant matching the pkg.name_unit convention
+// (lowercase package prefix, dot-separated lowercase_snake segments, e.g.
+// "linalg.matvec_ns" or "core.fallback.total"). cmd/obsreport and the
+// Prometheus /metrics endpoint rely on being able to list every metric the
+// binary can emit by reading the source. Constant expressions fold —
+// "core." + "best" is fine; a name built from a runtime variable is not.
+// The obs package itself and _test.go files are exempt.
+type MetricName struct {
+	// ObsPath is the import path of the metrics package.
+	ObsPath string
+	// Pattern is the convention names must match.
+	Pattern *regexp.Regexp
+}
+
+// MetricNamePattern is the pkg.name_unit convention: at least two
+// dot-separated segments, leading lowercase package segment, snake_case
+// tails.
+var MetricNamePattern = regexp.MustCompile(`^[a-z][a-z0-9]*(\.[a-z0-9_]+)+$`)
+
+// NewMetricName returns the rule bound to graphio/internal/obs.
+func NewMetricName() *MetricName {
+	return &MetricName{ObsPath: "graphio/internal/obs", Pattern: MetricNamePattern}
+}
+
+func (*MetricName) Name() string { return "metric-name" }
+
+func (*MetricName) Doc() string {
+	return "obs metric names are compile-time constants matching pkg.name_unit so obsreport can enumerate them"
+}
+
+// metricFuncs are the obs entry points whose first argument is a metric
+// name. Span and log names (StartSpan, Logf) are free-form and excluded.
+var metricFuncs = map[string]bool{
+	"Add": true, "Inc": true, "Counter": true,
+	"SetGauge": true, "Gauge": true,
+	"Observe": true, "Time": true,
+	"ObserveHist": true, "ObserveHistDuration": true, "TimeHist": true, "Hist": true,
+}
+
+// Check implements Rule.
+func (r *MetricName) Check(p *Package, report Reporter) {
+	if pathExempt(p.Path, []string{r.ObsPath}) {
+		return
+	}
+	for _, f := range p.Files {
+		if isTestPos(p, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			name, ok := r.metricCall(p, call)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				report(call.Pos(), "obs.%s metric name must be a compile-time string constant so cmd/obsreport can enumerate it", name)
+				return true
+			}
+			metric := constant.StringVal(tv.Value)
+			if !r.Pattern.MatchString(metric) {
+				report(call.Pos(), "metric name %q does not match the pkg.name_unit convention (%s)", metric, r.Pattern)
+			}
+			return true
+		})
+	}
+}
+
+// metricCall reports whether call targets an obs metric entry point —
+// either a package-level function of ObsPath or a method on its Registry —
+// and returns the function name.
+func (r *MetricName) metricCall(p *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := p.Info.Uses[sel.Sel]
+	if obj == nil || !metricFuncs[obj.Name()] {
+		return "", false
+	}
+	if obj.Pkg() != nil && obj.Pkg().Path() == r.ObsPath {
+		return obj.Name(), true
+	}
+	// Method on a Registry value obtained from obs (e.g. obs.Default().Inc):
+	// the selection's receiver type lives in ObsPath.
+	if s, ok := p.Info.Selections[sel]; ok {
+		t := s.Recv()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			o := named.Obj()
+			if o != nil && o.Pkg() != nil && o.Pkg().Path() == r.ObsPath {
+				return obj.Name(), true
+			}
+		}
+	}
+	return "", false
+}

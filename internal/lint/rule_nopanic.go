@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoPanic forbids panic in library packages: the bound pipeline promises
+// typed errors (NotConvergedError, NonFiniteError, SizeError, ...) all the
+// way up, and a panic in a solver tears down the whole sweep instead of
+// failing one experiment. Package main and _test.go files are exempt;
+// genuinely unreachable invariant panics need a //lint:ignore with the
+// invariant spelled out.
+type NoPanic struct{}
+
+// NewNoPanic returns the rule.
+func NewNoPanic() *NoPanic { return &NoPanic{} }
+
+func (*NoPanic) Name() string { return "no-panic" }
+
+func (*NoPanic) Doc() string {
+	return "library packages return typed errors instead of panicking (main and _test.go exempt)"
+}
+
+// Check implements Rule.
+func (r *NoPanic) Check(p *Package, report Reporter) {
+	if p.Types != nil && p.Types.Name() == "main" {
+		return
+	}
+	for _, f := range p.Files {
+		if isTestPos(p, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, builtin := p.Info.Uses[id].(*types.Builtin); !builtin {
+				return true
+			}
+			report(call.Pos(), "panic in library code; return a typed error (or //lint:ignore no-panic <invariant>)")
+			return true
+		})
+	}
+}

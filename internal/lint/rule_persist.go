@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// PersistWrites enforces the durability invariant from the persistence PR:
+// every artifact write routes through internal/persist so it inherits the
+// temp+fsync+rename protocol and the persist.* metrics. Direct os.Create,
+// os.WriteFile, and write-mode os.OpenFile calls are flagged everywhere
+// except the exempt packages (persist itself and the fault injector that
+// wraps its files). _test.go files are NOT exempt: tests that bypass
+// persist to simulate corruption must say so with a //lint:ignore reason.
+type PersistWrites struct {
+	// Exempt lists import paths (subtrees included) allowed to touch the
+	// raw os write API.
+	Exempt []string
+}
+
+// NewPersistWrites returns the rule with the repo's standard exemptions.
+func NewPersistWrites() *PersistWrites {
+	return &PersistWrites{Exempt: []string{
+		"graphio/internal/persist",
+		"graphio/internal/faultinject",
+	}}
+}
+
+func (*PersistWrites) Name() string { return "persist-writes" }
+
+func (*PersistWrites) Doc() string {
+	return "artifact writes must go through internal/persist, not raw os.Create/os.WriteFile/os.OpenFile"
+}
+
+// writeFlagNames are the os.O_* constants that make an OpenFile call a
+// write; os.O_RDONLY is 0 and never appears among them.
+var writeFlagNames = map[string]bool{
+	"O_WRONLY": true,
+	"O_RDWR":   true,
+	"O_APPEND": true,
+	"O_CREATE": true,
+	"O_TRUNC":  true,
+}
+
+var osWriteFuncs = map[string]bool{"Create": true, "WriteFile": true, "OpenFile": true}
+
+// Check implements Rule.
+func (r *PersistWrites) Check(p *Package, report Reporter) {
+	if pathExempt(p.Path, r.Exempt) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := isPkgFunc(p, call.Fun, "os", osWriteFuncs)
+			if !ok {
+				return true
+			}
+			if name == "OpenFile" {
+				if len(call.Args) < 2 || !openFlagsWrite(p, call.Args[1]) {
+					return true
+				}
+			}
+			report(call.Pos(), "os.%s bypasses internal/persist; use persist.WriteFileAtomic or persist.Writer for durable artifacts", name)
+			return true
+		})
+	}
+}
+
+// openFlagsWrite reports whether the flags expression of an os.OpenFile
+// call requests write access. A flags expression naming any write-mode
+// os.O_* constant is a write; one naming only os.O_RDONLY is a read; one
+// with no recognizable os.O_* identifiers is treated as a write because it
+// cannot be proven read-only.
+func openFlagsWrite(p *Package, flags ast.Expr) bool {
+	write, sawFlag := false, false
+	ast.Inspect(flags, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := useOf(p, sel)
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+			return true
+		}
+		sawFlag = true
+		if writeFlagNames[obj.Name()] {
+			write = true
+		}
+		return true
+	})
+	return write || !sawFlag
+}

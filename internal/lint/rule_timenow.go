@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// TimeNow keeps wall-clock reads behind internal/obs: solvers and the
+// harness call obs.Now/obs.Since so that every duration they record is
+// visible to the metrics layer and can be driven by an injected clock in
+// fault tests (obs.SetClock). Direct time.Now and time.Since anywhere else
+// defeat both. _test.go files are exempt — tests may time themselves.
+type TimeNow struct {
+	// Exempt lists import paths (subtrees included) allowed to read the
+	// real clock.
+	Exempt []string
+}
+
+// NewTimeNow returns the rule with internal/obs exempt.
+func NewTimeNow() *TimeNow {
+	return &TimeNow{Exempt: []string{"graphio/internal/obs"}}
+}
+
+func (*TimeNow) Name() string { return "time-now" }
+
+func (*TimeNow) Doc() string {
+	return "wall-clock reads go through obs.Now/obs.Since so timing stays observable and clock-injectable"
+}
+
+var timeClockFuncs = map[string]bool{"Now": true, "Since": true}
+
+// Check implements Rule.
+func (r *TimeNow) Check(p *Package, report Reporter) {
+	if pathExempt(p.Path, r.Exempt) {
+		return
+	}
+	for _, f := range p.Files {
+		if isTestPos(p, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := isPkgFunc(p, sel, "time", timeClockFuncs); ok {
+				report(sel.Pos(), "time.%s outside internal/obs; use obs.%s so the reading is observable and clock-injectable", name, name)
+			}
+			return true
+		})
+	}
+}

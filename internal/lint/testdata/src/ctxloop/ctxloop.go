@@ -1,0 +1,100 @@
+// Package ctxloop is the ctx-loop fixture: outermost loops doing real work
+// in a context-taking function must consult the context.
+package ctxloop
+
+import (
+	"context"
+	"strconv"
+	"strings"
+)
+
+func crunch(x int) int { return x * x }
+
+// Bad never consults ctx even though the loop calls into real work.
+func Bad(ctx context.Context, xs []int) int {
+	s := 0
+	for _, x := range xs { // want `accepts a context.Context but this loop never consults it`
+		s += crunch(x)
+	}
+	return s
+}
+
+// BadFor is the three-clause spelling of the same mistake.
+func BadFor(ctx context.Context, n int) int {
+	s := 0
+	for i := 0; i < n; i++ { // want `accepts a context.Context but this loop never consults it`
+		s += crunch(i)
+	}
+	return s
+}
+
+// ChecksErr consults ctx.Err each iteration: clean.
+func ChecksErr(ctx context.Context, xs []int) (int, error) {
+	s := 0
+	for _, x := range xs {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		s += crunch(x)
+	}
+	return s, nil
+}
+
+// PassesCtx hands ctx to the callee, which owns the cancellation check.
+func PassesCtx(ctx context.Context, xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += crunchCtx(ctx, x)
+	}
+	return s
+}
+
+func crunchCtx(ctx context.Context, x int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return crunch(x)
+}
+
+// InnerLoop only needs the check in the outermost loop; the inner mat-vec
+// style loop amortizes into it.
+func InnerLoop(ctx context.Context, m [][]int) (int, error) {
+	s := 0
+	for _, row := range m {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		for _, x := range row {
+			s += crunch(x)
+		}
+	}
+	return s, nil
+}
+
+// NoWork loops are exempt: straight-line arithmetic has bounded latency.
+func NoWork(ctx context.Context, xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x * x
+	}
+	return s
+}
+
+// FormattingOnly loops are exempt: fmt/strings/strconv/errors calls and
+// conversions are not work.
+func FormattingOnly(ctx context.Context, xs []int) string {
+	var parts []string
+	for _, x := range xs {
+		parts = append(parts, strconv.Itoa(int(int64(x))))
+	}
+	return strings.Join(parts, ",")
+}
+
+// NoCtx takes no context, so no loop is checked.
+func NoCtx(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += crunch(x)
+	}
+	return s
+}

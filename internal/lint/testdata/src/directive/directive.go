@@ -1,0 +1,47 @@
+// Package directive is the suppression-mechanics fixture. Its expectations
+// live in TestDirectiveFixture rather than inline want comments: the
+// interesting lines already end in a //lint:ignore comment, and a Go source
+// line cannot carry two line comments.
+package directive
+
+func trailing() {
+	panic("len < 0") //lint:ignore no-panic trailing form: the length is validated two lines up
+}
+
+func wholeLine() {
+	//lint:ignore no-panic whole-line form: the caller guarantees a non-empty slice
+	panic("empty slice")
+}
+
+func wholeLineSkipsBlanks() {
+	//lint:ignore no-panic blank and comment lines between directive and code are skipped
+
+	// an interleaved comment
+	panic("still suppressed")
+}
+
+func missingReason() {
+	//lint:ignore no-panic
+	panic("not suppressed: reason missing")
+}
+
+func unknownRule() {
+	//lint:ignore no-such-rule the rule name is wrong on purpose
+	panic("not suppressed: unknown rule")
+}
+
+func metaRule() {
+	//lint:ignore unused-suppression meta rules cannot be silenced
+	panic("not suppressed: meta rule")
+}
+
+//lint:ignore
+func malformed() {}
+
+func unused(a, b int) bool {
+	//lint:ignore float-eq ints compare exactly, so this suppresses nothing
+	return a == b
+}
+
+//lint:ignorance of the required space means this comment is not a directive
+func prose() {}

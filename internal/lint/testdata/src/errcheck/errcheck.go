@@ -1,0 +1,42 @@
+// Package errcheck is the errcheck fixture: error results discarded in
+// statement position are flagged; fmt, Builder/Buffer, defer, and explicit
+// discards are not.
+package errcheck
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func twoResults() (int, error) { return 0, nil }
+
+func noError() int { return 1 }
+
+func Use() {
+	mayFail()    // want `error result discarded`
+	twoResults() // want `error result discarded`
+
+	go mayFail() // want `error result discarded`
+
+	_ = mayFail() // explicit discard: clean
+	if err := mayFail(); err != nil {
+		_ = err
+	}
+	v, err := twoResults() // assigned: clean
+	_, _ = v, err
+
+	noError() // no error result: clean
+
+	fmt.Println("terminal output is exempt")
+
+	var b strings.Builder
+	b.WriteString("always-nil error: exempt")
+	var buf bytes.Buffer
+	buf.WriteByte('x')
+
+	defer mayFail() // defer is exempt (read-path cleanup convention)
+}

@@ -1,0 +1,6 @@
+package errcheck
+
+// _test.go files are exempt from errcheck.
+func sloppy() {
+	mayFail()
+}

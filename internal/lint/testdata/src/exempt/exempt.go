@@ -1,0 +1,19 @@
+// Package exempt exercises the Exempt path lists of persist-writes and
+// time-now: loaded as fix/exempt, it is clean when that path is exempt and
+// dirty otherwise. It deliberately carries no want annotations — the test
+// asserts both configurations explicitly.
+package exempt
+
+import (
+	"os"
+	"time"
+)
+
+func Touch(path string) (time.Time, error) {
+	stamp := time.Now()
+	f, err := os.Create(path)
+	if err != nil {
+		return stamp, err
+	}
+	return stamp, f.Close()
+}

@@ -1,0 +1,23 @@
+// Package floateq is the float-eq fixture: raw ==/!= on float operands is
+// flagged; the NaN self-comparison idiom and integer comparisons are not.
+package floateq
+
+func Cmp(a, b float64, i, j int) bool {
+	if a == b { // want `== on floating-point operands is exact bit equality`
+		return true
+	}
+	if a != b { // want `!= on floating-point operands is exact bit equality`
+		return false
+	}
+	if a != a { // NaN idiom: clean
+		return false
+	}
+	if a == float64(i) { // want `== on floating-point operands is exact bit equality`
+		return true
+	}
+	return i == j // integers: clean
+}
+
+func Cmp32(x, y float32) bool {
+	return x == y // want `== on floating-point operands is exact bit equality`
+}

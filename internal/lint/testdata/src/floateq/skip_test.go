@@ -1,0 +1,6 @@
+package floateq
+
+// _test.go files are exempt: golden tests may assert bit-identical floats.
+func goldenEqual(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,25 @@
+// Package metricname is the metric-name fixture: metric names must be
+// compile-time constants matching the pkg.name_unit convention. The obs
+// package here is the fix/obs stand-in.
+package metricname
+
+import "fix/obs"
+
+const prefix = "metricname."
+
+func Use(name string, reg *obs.Registry) {
+	obs.Inc("metricname.good.total")
+	obs.Inc("core." + "folded") // constant expressions fold: clean
+	obs.Inc(prefix + "hits")    // named constants fold too: clean
+
+	obs.Inc("BadName")     // want `metric name "BadName" does not match the pkg.name_unit convention`
+	obs.Inc("x.")          // want `metric name "x." does not match the pkg.name_unit convention`
+	obs.Inc(name)          // want `obs.Inc metric name must be a compile-time string constant`
+	obs.Observe(name, 1.0) // want `obs.Observe metric name must be a compile-time string constant`
+
+	obs.Default().Observe("metricname.latency_ns", 1.0)
+	obs.Default().Inc("Bad Name") // want `metric name "Bad Name" does not match the pkg.name_unit convention`
+	reg.Inc(name)                 // want `obs.Inc metric name must be a compile-time string constant`
+
+	obs.StartSpan(name) // span names are free-form: clean
+}

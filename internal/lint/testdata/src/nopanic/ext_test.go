@@ -1,0 +1,11 @@
+package nopanic_test
+
+import "fix/nopanic"
+
+// External test packages are exempt from no-panic too.
+func mustCroak(n int) int {
+	if nopanic.Croak(n) != n {
+		panic("impossible")
+	}
+	return n
+}

@@ -1,0 +1,9 @@
+package nopanic
+
+// In-package test files are exempt from no-panic.
+func mustPositive(n int) int {
+	if n <= 0 {
+		panic("test helper")
+	}
+	return n
+}

@@ -1,0 +1,15 @@
+// Package nopanic is the no-panic fixture: the builtin panic is flagged in
+// library code; shadowed identifiers named panic are not.
+package nopanic
+
+func Croak(n int) int {
+	if n < 0 {
+		panic("negative length") // want `panic in library code`
+	}
+	return n
+}
+
+func Shadowed() {
+	panic := func() {}
+	panic() // a local closure, not the builtin: clean
+}

@@ -1,0 +1,7 @@
+// Command nopanicmain is the no-panic fixture for package main, which is
+// exempt: a CLI may die loudly.
+package main
+
+func main() {
+	panic("mains may panic")
+}

@@ -1,0 +1,18 @@
+// Package obs is a miniature stand-in for graphio/internal/obs used by the
+// metric-name fixture: same entry-point names, no behavior.
+package obs
+
+type Registry struct{}
+
+func (*Registry) Inc(name string)                {}
+func (*Registry) Observe(name string, v float64) {}
+
+var def Registry
+
+func Default() *Registry { return &def }
+
+func Inc(name string)                {}
+func Observe(name string, v float64) {}
+
+// StartSpan's name is free-form: not a metric entry point.
+func StartSpan(name string) {}

@@ -1,0 +1,50 @@
+// Package persist is the persist-writes fixture: direct os write APIs are
+// flagged, read-only opens are not.
+package persist
+
+import "os"
+
+func Hit(path string, data []byte, flags int) error {
+	f, err := os.Create(path) // want `os.Create bypasses internal/persist`
+	if err != nil {
+		return err
+	}
+	_ = f.Close()
+
+	if err := os.WriteFile(path, data, 0o644); err != nil { // want `os.WriteFile bypasses internal/persist`
+		return err
+	}
+
+	g, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644) // want `os.OpenFile bypasses internal/persist`
+	if err != nil {
+		return err
+	}
+	_ = g.Close()
+
+	h, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644) // want `os.OpenFile bypasses internal/persist`
+	if err != nil {
+		return err
+	}
+	_ = h.Close()
+
+	// Unprovable flags are conservatively treated as a write.
+	u, err := os.OpenFile(path, flags, 0o644) // want `os.OpenFile bypasses internal/persist`
+	if err != nil {
+		return err
+	}
+	return u.Close()
+}
+
+func Clean(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	_ = f.Close()
+
+	r, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	return r.Close()
+}

@@ -1,0 +1,9 @@
+package persist
+
+import "os"
+
+// _test.go files are NOT exempt from persist-writes: tests that bypass
+// persist must carry a suppression with a reason.
+func tamper(path string) error {
+	return os.WriteFile(path, []byte("x"), 0o644) // want `os.WriteFile bypasses internal/persist`
+}

@@ -1,0 +1,14 @@
+// Package timenow is the time-now fixture: direct wall-clock reads are
+// flagged; other time package functions are not.
+package timenow
+
+import "time"
+
+func Stamp() time.Duration {
+	start := time.Now()      // want `time.Now outside internal/obs`
+	return time.Since(start) // want `time.Since outside internal/obs`
+}
+
+func Fine(d time.Duration) time.Time {
+	return time.Unix(0, 0).Add(d) // non-clock time functions: clean
+}

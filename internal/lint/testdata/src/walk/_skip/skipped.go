@@ -1,0 +1,2 @@
+// Package skipped lives under an underscore directory and must be skipped.
+package skipped

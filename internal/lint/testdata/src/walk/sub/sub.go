@@ -1,0 +1,2 @@
+// Package sub is a nested package Expand must find.
+package sub

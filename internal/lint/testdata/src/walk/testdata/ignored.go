@@ -1,0 +1,2 @@
+// Package ignored lives under a testdata directory and must be skipped.
+package ignored

@@ -1,0 +1,2 @@
+// Package walk anchors the Expand pattern-walking test.
+package walk

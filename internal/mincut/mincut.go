@@ -168,7 +168,7 @@ func ConvexMinCutBoundContext(ctx context.Context, g *graph.Graph, opt Options) 
 	if opt.M < 1 {
 		return nil, errors.New("mincut: Options.M must be ≥ 1")
 	}
-	start := time.Now()
+	start := obs.Now()
 	sp := obs.StartSpan("mincut.sweep")
 	n := g.N()
 	res := &Result{BestVertex: -1}
@@ -189,7 +189,7 @@ func ConvexMinCutBoundContext(ctx context.Context, g *graph.Graph, opt Options) 
 		// The upper-bound pass is itself O(n·(n+m)); honour the time box
 		// and the context here too, and rank whatever prefix was scored.
 		if v%256 == 0 {
-			if opt.Timeout > 0 && time.Since(start) > opt.Timeout/2 {
+			if opt.Timeout > 0 && obs.Since(start) > opt.Timeout/2 {
 				res.TimedOut = true
 				break
 			}
@@ -244,7 +244,7 @@ func ConvexMinCutBoundContext(ctx context.Context, g *graph.Graph, opt Options) 
 				if i >= limit {
 					return
 				}
-				if opt.Timeout > 0 && time.Since(start) > opt.Timeout {
+				if opt.Timeout > 0 && obs.Since(start) > opt.Timeout {
 					mu.Lock()
 					res.TimedOut = true
 					mu.Unlock()
@@ -295,7 +295,7 @@ func ConvexMinCutBoundContext(ctx context.Context, g *graph.Graph, opt Options) 
 			res.Bound = b
 		}
 	}
-	res.Elapsed = time.Since(start)
+	res.Elapsed = obs.Since(start)
 	if obs.Enabled() {
 		obs.Add("mincut.flows", int64(res.Evaluated))
 		// Everything the upper-bound ordering let the sweep skip: candidates

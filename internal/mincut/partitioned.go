@@ -5,9 +5,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"graphio/internal/graph"
+	"graphio/internal/obs"
 )
 
 // PartitionedBound computes the partitioned convex min-cut variant the
@@ -25,7 +25,7 @@ func PartitionedBound(g *graph.Graph, parts [][]int, M int) (*Result, error) {
 	if M < 1 {
 		return nil, errors.New("mincut: M must be ≥ 1")
 	}
-	start := time.Now()
+	start := obs.Now()
 	res := &Result{BestVertex: -1}
 	// Parts are independent subproblems: fan them out to a worker pool.
 	subResults := make([]*Result, len(parts))
@@ -72,6 +72,6 @@ func PartitionedBound(g *graph.Graph, parts [][]int, M int) (*Result, error) {
 			}
 		}
 	}
-	res.Elapsed = time.Since(start)
+	res.Elapsed = obs.Since(start)
 	return res, nil
 }

@@ -130,7 +130,7 @@ func (c *CLI) Begin() error {
 				// Second signal: the wind-down is taking too long (or is
 				// stuck). Flush what we have and go.
 				fmt.Fprintln(os.Stderr, "obs: second signal: flushing telemetry and exiting")
-				c.Finish() //nolint:errcheck // exiting non-zero regardless
+				c.Finish() //lint:ignore errcheck second-signal path exits non-zero regardless; the flush is best-effort
 				os.Exit(130)
 			}
 		}

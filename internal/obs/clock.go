@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// The repo's time-now lint rule routes every wall-clock read outside this
+// package through Now/Since, so all timing the system acts on is visible to
+// the observability layer and can be driven by an injected clock in fault
+// and determinism tests.
+
+var clockFn atomic.Value // func() time.Time; nil entry means wall clock
+
+// Now returns the current time from the active clock (the real wall clock
+// unless SetClock installed an override).
+func Now() time.Time {
+	if f, ok := clockFn.Load().(func() time.Time); ok && f != nil {
+		return f()
+	}
+	return time.Now()
+}
+
+// Since returns the elapsed time between t and Now(), mirroring time.Since
+// but honoring an injected clock.
+func Since(t time.Time) time.Duration { return Now().Sub(t) }
+
+// SetClock overrides the time source used by Now and Since. Passing nil
+// restores the wall clock. Intended for tests and fault injection — e.g.
+// freezing time to make duration metrics deterministic.
+func SetClock(f func() time.Time) {
+	if f == nil {
+		clockFn.Store((func() time.Time)(nil))
+		return
+	}
+	clockFn.Store(f)
+}

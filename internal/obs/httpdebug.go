@@ -40,7 +40,7 @@ func StartDebugServer(addr string) (stop func() error, boundAddr string, err err
 	mux.HandleFunc("/progress", handleProgress)
 	mux.HandleFunc("/", handleIndex)
 	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln) //nolint:errcheck // Close returns ErrServerClosed here by design
+	go srv.Serve(ln) //lint:ignore errcheck Serve returns ErrServerClosed when StopDebugServer closes the listener, by design
 	debugTrackRef(+1)
 	stopped := false
 	return func() error {
@@ -59,7 +59,7 @@ func handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	io.WriteString(w, `<html><body><h1>graphio debug</h1><ul>
+	_, _ = io.WriteString(w, `<html><body><h1>graphio debug</h1><ul>
 <li><a href="/metrics">/metrics</a> — Prometheus text format</li>
 <li><a href="/progress">/progress</a> — open spans JSON</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — runtime profiles</li>
@@ -98,7 +98,7 @@ func handleProgress(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(snap) //nolint:errcheck // best-effort debug endpoint
+	enc.Encode(snap) //lint:ignore errcheck best-effort debug endpoint; a failed write only truncates the client's JSON
 }
 
 // WritePrometheus renders a snapshot in the Prometheus text exposition

@@ -18,7 +18,7 @@ func StartCPUProfile(path string) (stop func() error, err error) {
 		return nil, fmt.Errorf("obs: cpu profile: %w", err)
 	}
 	if err := pprof.StartCPUProfile(w); err != nil {
-		w.Close()
+		_ = w.Close()
 		return nil, fmt.Errorf("obs: cpu profile: %w", err)
 	}
 	return func() error {

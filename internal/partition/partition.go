@@ -159,7 +159,7 @@ func FiedlerVector(L *linalg.CSR, maxIter int, tol float64, seed int64) []float6
 		v[i] = rng.NormFloat64()
 	}
 	linalg.OrthogonalizeAgainst(v, deflate)
-	if linalg.Normalize(v) == 0 {
+	if linalg.EqZero(linalg.Normalize(v)) {
 		return nil
 	}
 	bv := make([]float64, n)
@@ -173,7 +173,7 @@ func FiedlerVector(L *linalg.CSR, maxIter int, tol float64, seed int64) []float6
 		if linalg.Norm2(resid) <= tol*c {
 			return v
 		}
-		if linalg.Normalize(bv) == 0 {
+		if linalg.EqZero(linalg.Normalize(bv)) {
 			return v // iterate annihilated: v spans the remaining space
 		}
 		v, bv = bv, v

@@ -71,6 +71,7 @@ func AnnealContext(ctx context.Context, g *graph.Graph, start []int, M int, opt 
 	}
 	decay := math.Pow(0.01/temp, 1/float64(iters))
 	isParent := func(u, v int) bool {
+		//lint:ignore ctx-loop O(in-degree) parent test invoked from the annealing loop, which checks ctx every iteration
 		for _, p := range g.Pred(v) {
 			if int(p) == u {
 				return true

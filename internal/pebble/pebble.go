@@ -111,6 +111,7 @@ func SimulateContext(ctx context.Context, g *graph.Graph, order []int, M int, po
 	for i, v := range order {
 		pos[v] = int32(i)
 	}
+	//lint:ignore ctx-loop O(V+E) use-position precompute; the simulation loop below checks ctx every 4096 nodes
 	for _, v := range order {
 		succ := s.g.Succ(v)
 		uses := make([]int32, len(succ))
@@ -317,6 +318,9 @@ func BestOrderContext(ctx context.Context, g *graph.Graph, M int, policy Policy,
 	}
 	rng := rand.New(rand.NewSource(seed))
 	for i := 0; i < samples; i++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, nil, "", err
+		}
 		cands = append(cands, candidate{fmt.Sprintf("random-%d", i), g.RandomTopoOrder(rng)})
 	}
 	best := Result{Reads: math.MaxInt32, Writes: math.MaxInt32}
@@ -367,6 +371,7 @@ func ExhaustiveBestContext(ctx context.Context, g *graph.Graph, M int, policy Po
 	}
 	n := g.N()
 	indeg := make([]int, n)
+	//lint:ignore ctx-loop O(V) in-degree snapshot before the search; rec checks ctx at every completed order
 	for v := 0; v < n; v++ {
 		indeg[v] = g.InDeg(v)
 	}
@@ -399,6 +404,7 @@ func ExhaustiveBestContext(ctx context.Context, g *graph.Graph, M int, policy Po
 			}
 			return nil
 		}
+		//lint:ignore ctx-loop rec closes over ctx and checks it at every completed order
 		for v := 0; v < n; v++ {
 			if indeg[v] != 0 || isIn(order, v) {
 				continue

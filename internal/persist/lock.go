@@ -32,7 +32,7 @@ func AcquireLock(path string) (*Lock, error) {
 				werr = cerr
 			}
 			if werr != nil {
-				os.Remove(path)
+				_ = os.Remove(path)
 				return nil, werr
 			}
 			return &Lock{path: path}, nil

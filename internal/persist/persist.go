@@ -86,7 +86,7 @@ func WriteFileAtomic(path string, data []byte, perm fs.FileMode) error {
 		return err
 	}
 	if _, err := w.Write(data); err != nil {
-		w.Close()
+		_ = w.Close()
 		return err
 	}
 	return w.Commit()
@@ -101,7 +101,7 @@ func WriteTo(path string, write func(io.Writer) error) error {
 		return err
 	}
 	if err := write(w); err != nil {
-		w.Close()
+		_ = w.Close()
 		return err
 	}
 	return w.Commit()

@@ -76,11 +76,11 @@ func (w *Writer) Commit() error {
 		return fmt.Errorf("persist: commit of %s after close", w.path)
 	}
 	if err := w.writeErr; err != nil {
-		w.Close()
+		_ = w.Close()
 		return err
 	}
 	if err := w.f.Sync(); err != nil {
-		w.f.Close()
+		_ = w.f.Close()
 		w.abort()
 		return fmt.Errorf("persist: syncing %s: %w", w.path, err)
 	}
@@ -112,7 +112,7 @@ func (w *Writer) Close() error {
 	if w.closed || w.committed {
 		return nil
 	}
-	w.f.Close()
+	_ = w.f.Close()
 	w.abort()
 	return nil
 }
@@ -121,7 +121,7 @@ func (w *Writer) Close() error {
 // closing or removing the temp is intentionally dropped — the write is
 // being thrown away, and the destination was never touched.
 func (w *Writer) abort() {
-	os.Remove(w.tmp)
+	_ = os.Remove(w.tmp)
 	w.closed = true
 	Count("persist.abort")
 }

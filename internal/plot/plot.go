@@ -73,9 +73,11 @@ func Render(w io.Writer, series []Series, opt Options) error {
 	if usable == 0 {
 		return errors.New("plot: no plottable points")
 	}
+	//lint:ignore float-eq a degenerate axis range is an exact condition; widening near-equal ranges would distort real data
 	if maxX == minX {
 		maxX = minX + 1
 	}
+	//lint:ignore float-eq a degenerate axis range is an exact condition; widening near-equal ranges would distort real data
 	if maxY == minY {
 		maxY = minY + 1
 	}

@@ -111,6 +111,7 @@ func OptimalContext(ctx context.Context, g *graph.Graph, M int, opt Options) (*R
 	all := uint32(1)<<n - 1
 	preds := make([]uint32, n)
 	succs := make([]uint32, n)
+	//lint:ignore ctx-loop n ≤ 32 bitmask precompute; the state search below checks ctx per expansion
 	for v := 0; v < n; v++ {
 		for _, p := range g.Pred(v) {
 			preds[v] |= 1 << uint(p)

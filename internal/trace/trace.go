@@ -58,6 +58,7 @@ func (t *Tracer) Inputs(prefix string, n int) []Value {
 func (t *Tracer) Op(label string, operands ...Value) Value {
 	for _, o := range operands {
 		if o.t != t {
+			//lint:ignore no-panic cross-tracer operands are a programmer error the fluent API cannot report any other way
 			panic("trace: operand from a different Tracer")
 		}
 	}
@@ -117,6 +118,7 @@ func (t *Tracer) Graph(name string) (*graph.Graph, error) {
 func (t *Tracer) MustGraph(name string) *graph.Graph {
 	g, err := t.Graph(name)
 	if err != nil {
+		//lint:ignore no-panic Must* contract: traces built through this API are acyclic by construction
 		panic(err)
 	}
 	return g
@@ -147,6 +149,7 @@ func (t *Tracer) WriteDOT(w io.Writer, name string) error {
 // input.
 func ReduceAdd(vals []Value) Value {
 	if len(vals) == 0 {
+		//lint:ignore no-panic documented contract: reducing zero values has no defined root and no error channel in the fluent API
 		panic("trace: ReduceAdd of no values")
 	}
 	acc := vals[0]
@@ -159,6 +162,7 @@ func ReduceAdd(vals []Value) Value {
 // ReduceMin folds the values with a chain of binary mins.
 func ReduceMin(vals []Value) Value {
 	if len(vals) == 0 {
+		//lint:ignore no-panic documented contract: reducing zero values has no defined root and no error channel in the fluent API
 		panic("trace: ReduceMin of no values")
 	}
 	acc := vals[0]

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (no deps).
 
-.PHONY: build test test-race vet vet-strict lint bench bench-json bench-check cover experiments experiments-quick verify-resume examples fmt
+.PHONY: build test test-race vet vet-strict lint bench bench-json bench-check bench-history cover experiments experiments-quick verify-resume examples fmt
 
 build:
 	go build ./...
@@ -46,6 +46,15 @@ bench-json:
 bench-check:
 	go test -bench=. -benchmem -benchtime=3x . | go run ./cmd/benchjson -o /tmp/bench-current.json
 	go run ./cmd/obsreport -fail-over 20 BENCH_PR1.json /tmp/bench-current.json
+
+# Multi-run trend ledger: run the benchmarks, append this run (git rev,
+# platform, ns/op per benchmark) to results/bench_history.jsonl, then
+# compare the latest run against the median of the prior runs. Exits
+# non-zero when any benchmark regressed more than 20% against that median;
+# harmless on the first run (nothing to compare against yet).
+bench-history:
+	go test -bench=. -benchmem -benchtime=3x . | go run ./cmd/benchjson -o /tmp/bench-current.json -history results/bench_history.jsonl
+	go run ./cmd/obsreport trend -fail-over 20 results/bench_history.jsonl
 
 experiments:
 	go run ./cmd/experiments -profile default -out results

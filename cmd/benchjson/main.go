@@ -6,18 +6,31 @@
 // Lines that are not benchmark results (the goos/goarch header, PASS, ok)
 // are ignored. The -N GOMAXPROCS suffix is stripped from names so results
 // stay comparable across machines with different core counts.
+//
+// With -history PATH, the run is additionally appended to a multi-run
+// trend ledger — one CRC-framed journal record per run carrying the git
+// revision, toolchain/platform, a config hash over the benchmark set, and
+// every benchmark's ns/op. `obsreport trend` compares the runs.
 package main
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"graphio/internal/obs"
 	"graphio/internal/persist"
 )
 
@@ -33,6 +46,7 @@ type Result struct {
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	in := flag.String("i", "", "input file (default stdin)")
+	history := flag.String("history", "", "append this run to a bench trend ledger journal (render with `obsreport trend`)")
 	flag.Parse()
 
 	r := io.Reader(os.Stdin)
@@ -65,7 +79,90 @@ func main() {
 		// Atomic commit: a failed run leaves any previous BENCH.json intact.
 		fatal(err)
 	}
+	if *history != "" {
+		if err := appendHistory(*history, results); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: run appended to %s\n", *history)
+	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks parsed\n", len(results))
+}
+
+// historyRecord is one bench trend ledger entry, shared with
+// `obsreport trend` by shape.
+type historyRecord struct {
+	Kind       string             `json:"kind"`
+	Time       string             `json:"time"`
+	GitRev     string             `json:"git_rev"`
+	Go         string             `json:"go"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	ConfigHash string             `json:"config_hash"`
+	Benches    map[string]float64 `json:"benches"`
+}
+
+// appendHistory journals one bench_run record to path (creating parent
+// directories as needed), so runs accumulate crash-safely across CI jobs.
+func appendHistory(path string, results map[string]Result) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "/" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	benches := make(map[string]float64, len(results))
+	for name, r := range results {
+		benches[name] = r.NsPerOp
+	}
+	rec := historyRecord{
+		Kind:       "bench_run",
+		Time:       obs.Now().UTC().Format(time.RFC3339),
+		GitRev:     gitRev(),
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		ConfigHash: configHash(benches),
+		Benches:    benches,
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	j, _, err := persist.OpenJournal(path)
+	if err != nil {
+		return err
+	}
+	if err := j.Append(b); err != nil {
+		_ = j.Close()
+		return err
+	}
+	return j.Close()
+}
+
+// gitRev best-effort identifies the working tree; ledgers from exported
+// tarballs just say unknown.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// configHash fingerprints what this run measured — the benchmark set and
+// the platform — so obsreport trend can tell apples from oranges when a
+// ledger spans machines or benchmark renames.
+func configHash(benches map[string]float64) string {
+	names := make([]string, 0, len(benches))
+	for name := range benches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	fmt.Fprintf(h, "%s/%s/%s\n", runtime.GOOS, runtime.GOARCH, runtime.Version())
+	for _, name := range names {
+		fmt.Fprintln(h, name)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:12]
 }
 
 func fatal(err error) {

@@ -1,8 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
+
+	"graphio/internal/obs"
+	"graphio/internal/persist"
 )
 
 const sample = `goos: linux
@@ -59,5 +66,63 @@ func TestParseIgnoresNoise(t *testing.T) {
 	}
 	if len(got) != 0 {
 		t.Errorf("expected no results from noise input, got %v", got)
+	}
+}
+
+func TestAppendHistoryAccumulatesRuns(t *testing.T) {
+	base := time.Unix(1754000000, 0)
+	obs.SetClock(func() time.Time { return base })
+	defer obs.SetClock(nil)
+
+	path := filepath.Join(t.TempDir(), "results", "bench_history.jsonl")
+	first, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := appendHistory(path, first); err != nil {
+		t.Fatal(err)
+	}
+	second := map[string]Result{"BenchmarkBound": {Iterations: 5, NsPerOp: 40000000}}
+	if err := appendHistory(path, second); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := persist.ReadJournal(path)
+	if err != nil {
+		t.Fatalf("history not a clean journal: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d ledger records, want 2", len(recs))
+	}
+	var rec historyRecord
+	if err := json.Unmarshal(recs[0], &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != "bench_run" {
+		t.Errorf("kind = %q", rec.Kind)
+	}
+	if rec.Time != base.UTC().Format(time.RFC3339) {
+		t.Errorf("time = %q, want the injected clock's %q", rec.Time, base.UTC().Format(time.RFC3339))
+	}
+	if rec.GOOS != runtime.GOOS || rec.GOARCH != runtime.GOARCH || rec.Go != runtime.Version() {
+		t.Errorf("platform fields = %s/%s/%s", rec.GOOS, rec.GOARCH, rec.Go)
+	}
+	if rec.GitRev == "" {
+		t.Error("git_rev empty (expected a short rev or \"unknown\")")
+	}
+	if len(rec.ConfigHash) != 12 {
+		t.Errorf("config_hash = %q, want 12 hex chars", rec.ConfigHash)
+	}
+	if rec.Benches["BenchmarkBound"] != 41562341 || len(rec.Benches) != 2 {
+		t.Errorf("benches = %v", rec.Benches)
+	}
+	// The two runs measured different benchmark sets, so their config
+	// hashes must differ.
+	var rec2 historyRecord
+	if err := json.Unmarshal(recs[1], &rec2); err != nil {
+		t.Fatal(err)
+	}
+	if rec2.ConfigHash == rec.ConfigHash {
+		t.Error("config hash did not change with the benchmark set")
 	}
 }

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphio/internal/persist"
+)
+
+// writeEventJournal commits the given payloads as a CRC-framed event
+// journal, the same shape obs.DumpEvents produces.
+func writeEventJournal(t *testing.T, recs ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.events.jsonl")
+	j, _, err := persist.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := j.Append([]byte(rec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// convergenceEvents is a handcrafted two-probe run: a Lanczos residual
+// that decays then stalls (a plateau), and a short Dinic phase sequence.
+var convergenceEvents = []string{
+	`{"probe":"linalg.lanczos","iter":0,"t_ns":0,"f":{"resid":0.5,"locked":0}}`,
+	`{"probe":"linalg.lanczos","iter":1,"t_ns":1000000,"f":{"resid":0.25,"locked":0}}`,
+	`{"probe":"linalg.lanczos","iter":2,"t_ns":2000000,"f":{"resid":0.12,"locked":1}}`,
+	`{"probe":"linalg.lanczos","iter":3,"t_ns":3000000,"f":{"resid":0.06,"locked":2}}`,
+	`{"probe":"linalg.lanczos","iter":4,"t_ns":4000000,"f":{"resid":0.05,"locked":2}}`,
+	`{"probe":"linalg.lanczos","iter":5,"t_ns":5000000,"f":{"resid":0.0499,"locked":2}}`,
+	`{"probe":"linalg.lanczos","iter":6,"t_ns":6000000,"f":{"resid":0.0498,"locked":2}}`,
+	`{"probe":"linalg.lanczos","iter":7,"t_ns":7000000,"f":{"resid":0.0498,"locked":2}}`,
+	`{"probe":"maxflow.dinic","iter":0,"t_ns":7500000,"f":{"paths":5,"flow":12}}`,
+	`{"probe":"maxflow.dinic","iter":1,"t_ns":8500000,"f":{"paths":2,"flow":15}}`,
+	`{"probe":"maxflow.dinic","iter":2,"t_ns":9500000,"f":{"paths":1,"flow":16}}`,
+}
+
+func TestConvergenceGolden(t *testing.T) {
+	path := writeEventJournal(t, convergenceEvents...)
+	var buf bytes.Buffer
+	if err := runConvergence(&buf, path, "", 1.0, 3); err != nil {
+		t.Fatal(err)
+	}
+	// The header echoes the (temp) input path; normalize it for the golden.
+	got := strings.Replace(buf.String(), path, "run.events.jsonl", 1)
+	goldenPath := filepath.Join("testdata", "convergence.golden")
+	if os.Getenv("OBSREPORT_UPDATE_GOLDEN") != "" {
+		//lint:ignore persist-writes golden regeneration is a developer action, not runtime persistence
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with OBSREPORT_UPDATE_GOLDEN=1 go test ./cmd/obsreport/)", err)
+	}
+	if got != string(want) {
+		t.Errorf("convergence report drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestConvergenceProbeFilter(t *testing.T) {
+	path := writeEventJournal(t, convergenceEvents...)
+	var buf bytes.Buffer
+	if err := runConvergence(&buf, path, "maxflow.dinic", 1.0, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "linalg.lanczos") {
+		t.Errorf("-probe maxflow.dinic still reported lanczos:\n%s", out)
+	}
+	if !strings.Contains(out, "probe maxflow.dinic: 3 events") {
+		t.Errorf("filtered report missing dinic summary:\n%s", out)
+	}
+	if err := runConvergence(&buf, path, "nosuch.probe", 1.0, 5); err == nil {
+		t.Error("unknown probe name should error, not print an empty report")
+	}
+}
+
+func TestConvergencePlateauDetection(t *testing.T) {
+	vals := []float64{1, 0.5, 0.25, 0.249, 0.2485, 0.2481, 0.12}
+	n, at := longestPlateau(vals, 0.01)
+	if n != 4 || at != 2 {
+		t.Errorf("longestPlateau = (%d, %d), want (4, 2)", n, at)
+	}
+	if n, _ := longestPlateau([]float64{1, 2, 4, 8}, 0.01); n != 1 {
+		t.Errorf("strictly-moving series flagged a plateau of %d", n)
+	}
+	// All-zero series: stagnant by definition, not a divide-by-zero.
+	if n, _ := longestPlateau([]float64{0, 0, 0}, 0.01); n != 3 {
+		t.Errorf("zero series plateau = %d, want 3", n)
+	}
+}
+
+func TestConvergenceRejectsEmptyAndMissing(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runConvergence(&buf, filepath.Join(t.TempDir(), "absent.jsonl"), "", 1.0, 5); err == nil {
+		t.Error("missing event file should error")
+	}
+	path := writeEventJournal(t, `{"kind":"not_an_event"}`)
+	if err := runConvergence(&buf, path, "", 1.0, 5); err == nil {
+		t.Error("journal without probe events should error")
+	}
+}

@@ -17,6 +17,11 @@
 //	obsreport run.trace.json
 //	obsreport old.json new.json
 //	obsreport -fail-over 20 BENCH_PR1.json bench_now.json
+//
+// Two subcommands cover the solver-introspection artifacts:
+//
+//	obsreport convergence run.events.jsonl          per-iteration solver event report
+//	obsreport trend results/bench_history.jsonl     multi-run benchmark ledger trends
 package main
 
 import (
@@ -34,10 +39,18 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "convergence":
+			os.Exit(convergenceMain(os.Args[2:]))
+		case "trend":
+			os.Exit(trendMain(os.Args[2:]))
+		}
+	}
 	failOver := flag.Float64("fail-over", 0, "two-file mode: exit 1 when a time-like metric regresses by more than this percent (0 = report only)")
 	top := flag.Int("top", 10, "how many counters to show in one-file reports")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: obsreport [-fail-over PCT] [-top N] FILE [FILE2]")
+		fmt.Fprintln(os.Stderr, "usage: obsreport [-fail-over PCT] [-top N] FILE [FILE2]\n       obsreport convergence [...] EVENTS.jsonl\n       obsreport trend [...] [HISTORY.jsonl]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()

@@ -1,0 +1,166 @@
+package main
+
+// The trend subcommand reads the multi-run benchmark ledger that
+// `benchjson -history` appends to (results/bench_history.jsonl, a persist
+// journal of bench_run records) and compares the latest run against the
+// median of the prior runs, per benchmark, with an oldest→newest sparkline.
+// With -fail-over PCT the exit code becomes 1 when any benchmark's latest
+// ns/op exceeds that median by more than PCT percent — the gate behind
+// `make bench-history`.
+//
+//	obsreport trend results/bench_history.jsonl
+//	obsreport trend -n 20 -fail-over 10 results/bench_history.jsonl
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"graphio/internal/persist"
+)
+
+// defaultHistoryPath is where `make bench-history` keeps the ledger.
+const defaultHistoryPath = "results/bench_history.jsonl"
+
+// benchRun mirrors one ledger record written by `benchjson -history`.
+type benchRun struct {
+	Kind       string             `json:"kind"`
+	Time       string             `json:"time"`
+	GitRev     string             `json:"git_rev"`
+	Go         string             `json:"go"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	ConfigHash string             `json:"config_hash"`
+	Benches    map[string]float64 `json:"benches"`
+}
+
+func trendMain(args []string) int {
+	fs := flag.NewFlagSet("trend", flag.ExitOnError)
+	n := fs.Int("n", 10, "how many most-recent runs to consider")
+	failOver := fs.Float64("fail-over", 0, "exit 1 when a benchmark's latest ns/op exceeds the prior-run median by more than this percent (0 = report only)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: obsreport trend [-n N] [-fail-over PCT] [HISTORY.jsonl]   (default %s)\n", defaultHistoryPath)
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args) // ExitOnError: Parse cannot return an error here
+	path := defaultHistoryPath
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		path = fs.Arg(0)
+	default:
+		fs.Usage()
+		return 2
+	}
+	regressed, err := runTrend(os.Stdout, path, *n, *failOver)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obsreport trend: %v\n", err)
+		return 1
+	}
+	if *failOver > 0 && regressed > 0 {
+		fmt.Printf("FAIL: %d benchmark(s) regressed more than %.0f%% vs the prior-run median\n", regressed, *failOver)
+		return 1
+	}
+	return 0
+}
+
+// runTrend renders the ledger report and returns how many benchmarks
+// regressed past failOver percent versus the median of the prior runs.
+// Fewer than two runs is a report, not an error: the ledger is useful from
+// its very first append.
+func runTrend(w io.Writer, path string, n int, failOver float64) (int, error) {
+	records, err := persist.ReadJournal(path)
+	if err != nil {
+		return 0, err
+	}
+	var runs []benchRun
+	for _, raw := range records {
+		var r benchRun
+		if err := json.Unmarshal(raw, &r); err == nil && r.Kind == "bench_run" && len(r.Benches) > 0 {
+			runs = append(runs, r)
+		}
+	}
+	if len(runs) == 0 {
+		return 0, fmt.Errorf("%s: no bench_run records (append some with `benchjson -history %s`)", path, path)
+	}
+	if n > 0 && len(runs) > n {
+		runs = runs[len(runs)-n:]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d run(s)\n", path, len(runs))
+	for i, r := range runs {
+		mark := ""
+		if i == len(runs)-1 {
+			mark = "  (latest)"
+		}
+		fmt.Fprintf(&b, "  %3d  %-20s  rev %-12s %s/%s %s%s\n", i-len(runs)+1, r.Time, r.GitRev, r.GOOS, r.GOARCH, r.Go, mark)
+	}
+	latest := runs[len(runs)-1]
+	if len(runs) < 2 {
+		fmt.Fprintf(&b, "\nonly one run in the window — nothing to compare against yet\n")
+		for _, name := range sortedKeys(latest.Benches) {
+			fmt.Fprintf(&b, "  %-44s %12s/op\n", name, fmtDur(int64(latest.Benches[name])))
+		}
+		_, err := io.WriteString(w, b.String())
+		return 0, err
+	}
+	prior := runs[:len(runs)-1]
+	fmt.Fprintf(&b, "\n%-44s %14s %14s %9s  %s\n", "benchmark", "median(prior)", "latest", "delta", "trend (oldest→newest)")
+	regressed := 0
+	for _, name := range sortedKeys(latest.Benches) {
+		var priorVals, series []float64
+		for _, r := range prior {
+			if v, ok := r.Benches[name]; ok {
+				priorVals = append(priorVals, v)
+				series = append(series, v)
+			}
+		}
+		series = append(series, latest.Benches[name])
+		if len(priorVals) == 0 {
+			fmt.Fprintf(&b, "%-44s %14s %14s %9s  (new)\n", name, "-", fmtDur(int64(latest.Benches[name])), "n/a")
+			continue
+		}
+		med := median(priorVals)
+		delta, has := deltaPct(med, latest.Benches[name])
+		ds, mark := "n/a", ""
+		if has {
+			ds = fmt.Sprintf("%+.1f%%", delta)
+			if failOver > 0 && delta > failOver {
+				regressed++
+				mark = "  !"
+			}
+		}
+		fmt.Fprintf(&b, "%-44s %14s %14s %9s%s  %s\n",
+			name, fmtDur(int64(med)), fmtDur(int64(latest.Benches[name])), ds, mark, sparkline(series, 24))
+	}
+	dropped := map[string]bool{}
+	for _, r := range prior {
+		for name := range r.Benches {
+			if _, ok := latest.Benches[name]; !ok {
+				dropped[name] = true
+			}
+		}
+	}
+	if len(dropped) > 0 {
+		fmt.Fprintf(&b, "(%d benchmark(s) from prior runs absent in the latest run)\n", len(dropped))
+	}
+	_, err = io.WriteString(w, b.String())
+	return regressed, err
+}
+
+// median of a non-empty slice; even lengths average the middle pair.
+func median(vals []float64) float64 {
+	s := append([]float64(nil), vals...)
+	for i := 1; i < len(s); i++ { // insertion sort: windows are ≤ -n runs long
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphio/internal/persist"
+)
+
+// writeHistory commits bench_run ledger records the way benchjson -history
+// does.
+func writeHistory(t *testing.T, runs ...benchRun) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench_history.jsonl")
+	j, _, err := persist.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func ledgerRun(rev string, bound, sweep float64) benchRun {
+	return benchRun{
+		Kind: "bench_run", Time: "2026-08-07T00:00:00Z", GitRev: rev,
+		Go: "go1.x", GOOS: "linux", GOARCH: "amd64", ConfigHash: "abc",
+		Benches: map[string]float64{"BenchmarkBound": bound, "BenchmarkSweep": sweep},
+	}
+}
+
+func TestTrendFlagsRegression(t *testing.T) {
+	path := writeHistory(t,
+		ledgerRun("aaa1111", 1000000, 500000),
+		ledgerRun("bbb2222", 1100000, 505000),
+		ledgerRun("ccc3333", 1500000, 495000),
+	)
+	var buf bytes.Buffer
+	regressed, err := runTrend(&buf, path, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Latest BenchmarkBound 1.5ms vs median(1.0ms, 1.1ms) = 1.05ms → +42.9%.
+	if regressed != 1 {
+		t.Errorf("regressed = %d, want 1 (BenchmarkBound only)\n%s", regressed, out)
+	}
+	if !strings.Contains(out, "+42.9%") || !strings.Contains(out, "!") {
+		t.Errorf("report missing the regression delta/mark:\n%s", out)
+	}
+	if !strings.Contains(out, "3 run(s)") || !strings.Contains(out, "(latest)") {
+		t.Errorf("report missing the run listing:\n%s", out)
+	}
+	// Below the threshold nothing regresses.
+	if regressed, err = runTrend(&buf, path, 10, 50); err != nil || regressed != 0 {
+		t.Errorf("fail-over 50: regressed = %d, err = %v, want 0, nil", regressed, err)
+	}
+}
+
+func TestTrendWindowLimitsRuns(t *testing.T) {
+	// With -n 2 only the last two runs are considered: median(prior) is the
+	// single bbb2222 run, so BenchmarkBound's delta is vs 1.1ms, not 1.05ms.
+	path := writeHistory(t,
+		ledgerRun("aaa1111", 1000000, 500000),
+		ledgerRun("bbb2222", 1100000, 505000),
+		ledgerRun("ccc3333", 1500000, 495000),
+	)
+	var buf bytes.Buffer
+	if _, err := runTrend(&buf, path, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "2 run(s)") {
+		t.Errorf("window not applied:\n%s", out)
+	}
+	if !strings.Contains(out, "+36.4%") {
+		t.Errorf("median should cover only the windowed prior run (want +36.4%%):\n%s", out)
+	}
+}
+
+func TestTrendGracefulWithSingleRun(t *testing.T) {
+	path := writeHistory(t, ledgerRun("aaa1111", 1000000, 500000))
+	var buf bytes.Buffer
+	regressed, err := runTrend(&buf, path, 10, 20)
+	if err != nil {
+		t.Fatalf("a one-run ledger must report, not fail: %v", err)
+	}
+	if regressed != 0 {
+		t.Errorf("regressed = %d with nothing to compare against", regressed)
+	}
+	if !strings.Contains(buf.String(), "nothing to compare") {
+		t.Errorf("single-run report missing explanation:\n%s", buf.String())
+	}
+}
+
+func TestTrendNewAndDroppedBenchmarks(t *testing.T) {
+	old := benchRun{Kind: "bench_run", GitRev: "aaa", Benches: map[string]float64{
+		"BenchmarkBound": 1000000, "BenchmarkGone": 2000}}
+	cur := benchRun{Kind: "bench_run", GitRev: "bbb", Benches: map[string]float64{
+		"BenchmarkBound": 1010000, "BenchmarkNew": 3000}}
+	path := writeHistory(t, old, cur)
+	var buf bytes.Buffer
+	if _, err := runTrend(&buf, path, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "(new)") {
+		t.Errorf("benchmark without prior data not marked new:\n%s", out)
+	}
+	if !strings.Contains(out, "1 benchmark(s) from prior runs absent") {
+		t.Errorf("dropped benchmark not reported:\n%s", out)
+	}
+}
+
+func TestTrendErrorsOnEmptyLedger(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := runTrend(&buf, filepath.Join(t.TempDir(), "none.jsonl"), 10, 0); err == nil {
+		t.Error("missing ledger should error")
+	}
+	path := writeHistory(t, benchRun{Kind: "something_else"})
+	if _, err := runTrend(&buf, path, 10, 0); err == nil {
+		t.Error("ledger without bench_run records should error")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("median odd = %g", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("median even = %g", m)
+	}
+	if m := median([]float64{7}); m != 7 {
+		t.Errorf("median single = %g", m)
+	}
+}

@@ -127,6 +127,10 @@ type sweepManifest struct {
 	lock    *persist.Lock
 	hash    string
 	prior   map[string]manifestRecord // latest experiment record per name
+	// walls is the previous manifest's wall-time history, captured before
+	// a fresh (non-resume) sweep truncates the journal: the ETA estimator
+	// can then seed itself even when the results themselves are not reused.
+	walls map[string]time.Duration
 }
 
 // openManifest locks outDir, clears stale temp debris, and opens the
@@ -145,6 +149,7 @@ func openManifest(outDir string, cfg Config, resume bool) (*sweepManifest, error
 		return nil, err
 	}
 	path := filepath.Join(outDir, ManifestName)
+	walls := readManifestWalls(path)
 	if !resume {
 		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
 			_ = lock.Release()
@@ -156,7 +161,7 @@ func openManifest(outDir string, cfg Config, resume bool) (*sweepManifest, error
 		_ = lock.Release()
 		return nil, fmt.Errorf("experiments: opening sweep manifest: %w", err)
 	}
-	m := &sweepManifest{journal: journal, lock: lock, hash: cfg.Hash(), prior: map[string]manifestRecord{}}
+	m := &sweepManifest{journal: journal, lock: lock, hash: cfg.Hash(), prior: map[string]manifestRecord{}, walls: walls}
 	for _, raw := range records {
 		var rec manifestRecord
 		if err := json.Unmarshal(raw, &rec); err != nil {

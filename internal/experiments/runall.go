@@ -107,6 +107,17 @@ func runRunners(ctx context.Context, cfg Config, outDir string, names []string, 
 		}
 		defer man.close()
 	}
+	selNames := make([]string, len(selected))
+	for i, r := range selected {
+		selNames[i] = r.Name
+	}
+	var priorWalls map[string]time.Duration
+	if man != nil {
+		priorWalls = man.walls
+	}
+	eta := newETATracker(selNames, priorWalls)
+	obs.SetSweepStatus(eta.status)
+	defer obs.SetSweepStatus(nil)
 	type failure struct {
 		name string
 		err  error
@@ -118,6 +129,7 @@ func runRunners(ctx context.Context, cfg Config, outDir string, names []string, 
 			if t, rec, ok := man.reusable(outDir, r.Name); ok {
 				fmt.Fprintf(log, "== skipping %s (artifact verified against manifest)\n", r.Name)
 				obs.Inc("experiments.resume.skipped")
+				eta.skip(r.Name)
 				if err := man.skipped(rec); err != nil {
 					return tables, err
 				}
@@ -140,11 +152,13 @@ func runRunners(ctx context.Context, cfg Config, outDir string, names []string, 
 			// picks it up exactly where this sweep left off.
 			failures = append(failures, failure{r.Name, fmt.Errorf("not started: %w", err)})
 			obs.Inc("experiments.skipped")
+			eta.skip(r.Name)
 			continue
 		}
 		fmt.Fprintf(log, "== running %s\n", r.Name)
 		runStart := obs.Now()
-		stop := heartbeat(cfg.Progress, r.Name, runStart)
+		eta.begin(r.Name)
+		stop := heartbeat(cfg.Progress, r.Name, runStart, eta)
 		ectx := ctx
 		cancel := context.CancelFunc(func() {})
 		if cfg.ExperimentTimeout > 0 {
@@ -154,10 +168,12 @@ func runRunners(ctx context.Context, cfg Config, outDir string, names []string, 
 		cancel()
 		stop()
 		elapsed := obs.Since(runStart)
+		eta.finish(r.Name, elapsed, err != nil)
 		//lint:ignore metric-name bounded family experiments.<runner>; runner names are the static Runners registry
 		obs.Observe("experiments."+r.Name, elapsed)
 		if cfg.Progress != nil {
-			fmt.Fprintf(cfg.Progress, "experiments: %s done in %v\n", r.Name, elapsed.Round(time.Millisecond))
+			fmt.Fprintf(cfg.Progress, "experiments: %s done in %v (%s)\n",
+				r.Name, elapsed.Round(time.Millisecond), eta.progressLine())
 		}
 		if err != nil {
 			failures = append(failures, failure{r.Name, err})
@@ -228,8 +244,9 @@ func runRunners(ctx context.Context, cfg Config, outDir string, names []string, 
 // When span tracking is live (-trace-out or -debug-addr), the line names
 // the innermost open span, so the operator sees *which* solve is slow, not
 // just that something is; -debug-addr's /progress endpoint serves the full
-// open-span stack on demand.
-func heartbeat(w io.Writer, name string, start time.Time) (stop func()) {
+// open-span stack on demand. With an ETA tracker, the line also carries
+// sweep progress and estimated remaining time.
+func heartbeat(w io.Writer, name string, start time.Time, eta *etaTracker) (stop func()) {
 	if w == nil {
 		return func() {}
 	}
@@ -251,8 +268,12 @@ func heartbeat(w io.Writer, name string, start time.Time) (stop func()) {
 					where = fmt.Sprintf(", in %s for %v", deepest.Name,
 						time.Duration(deepest.ElapsedNS).Round(time.Second))
 				}
-				fmt.Fprintf(w, "experiments: %s still running (%v elapsed%s)\n",
-					name, obs.Since(start).Round(time.Second), where)
+				progress := ""
+				if eta != nil {
+					progress = ", " + eta.progressLine()
+				}
+				fmt.Fprintf(w, "experiments: %s still running (%v elapsed%s%s)\n",
+					name, obs.Since(start).Round(time.Second), progress, where)
 			}
 		}
 	}()

@@ -234,6 +234,14 @@ func ChebFilteredSmallestContext(ctx context.Context, A Operator, c float64, h i
 			}
 		}
 		lastWorst = worst
+		if obs.EventsEnabled() {
+			obs.Probe("linalg.cheb").Iter(int64(iter),
+				obs.FI("block", int64(b)),
+				obs.FI("degree", int64(degEff)),
+				obs.F("cut", aCut),
+				obs.F("worst_resid", worst),
+				obs.F("theta_h", theta[h-1]))
+		}
 		if ChebDebug != nil {
 			fmt.Fprintf(ChebDebug, "cheb iter=%d b=%d deg=%d(cap %d) aCut=%.6g worst=%.3g theta[h-1]=%.6g\n",
 				iter, b, degEff, dcap, aCut, worst, theta[h-1])

@@ -3,6 +3,8 @@ package linalg
 import (
 	"errors"
 	"math"
+
+	"graphio/internal/obs"
 )
 
 // TridiagEigBisect computes eigenvalues lo..hi (0-based, inclusive,
@@ -93,8 +95,10 @@ func TridiagEigBisect(diag, sub []float64, lo, hi int) ([]float64, error) {
 	out := make([]float64, 0, hi-lo+1)
 	for idx := lo; idx <= hi; idx++ {
 		a, b := gLo, gHi
+		iters := 0
 		// Invariant: count(a) ≤ idx < count(b).
 		for iter := 0; iter < 200; iter++ {
+			iters = iter + 1
 			mid := 0.5*a + 0.5*b // overflow-safe: a+b can exceed MaxFloat64
 			//lint:ignore float-eq bisection terminates when the midpoint collapses onto an endpoint — the comparison is exact by construction
 			if mid == a || mid == b {
@@ -108,6 +112,12 @@ func TridiagEigBisect(diag, sub []float64, lo, hi int) ([]float64, error) {
 			if b-a <= 1e-14*scale {
 				break
 			}
+		}
+		if obs.EventsEnabled() {
+			obs.Probe("linalg.bisect").Iter(int64(idx),
+				obs.F("width", b-a),
+				obs.FI("iters", int64(iters)),
+				obs.F("value", 0.5*a+0.5*b))
 		}
 		out = append(out, 0.5*a+0.5*b)
 	}

@@ -8,7 +8,7 @@ import (
 )
 
 // MetricName keeps the obs metric namespace statically enumerable: every
-// counter/gauge/timer/histogram name handed to internal/obs must be a
+// counter/gauge/timer/histogram/probe name handed to internal/obs must be a
 // compile-time string constant matching the pkg.name_unit convention
 // (lowercase package prefix, dot-separated lowercase_snake segments, e.g.
 // "linalg.matvec_ns" or "core.fallback.total"). cmd/obsreport and the
@@ -41,11 +41,15 @@ func (*MetricName) Doc() string {
 
 // metricFuncs are the obs entry points whose first argument is a metric
 // name. Span and log names (StartSpan, Logf) are free-form and excluded.
+// Probe names share the namespace — obsreport convergence groups events by
+// probe — so obs.Probe is included; ProbeRef.Iter is not, its first
+// argument being an iteration number.
 var metricFuncs = map[string]bool{
 	"Add": true, "Inc": true, "Counter": true,
 	"SetGauge": true, "Gauge": true,
 	"Observe": true, "Time": true,
 	"ObserveHist": true, "ObserveHistDuration": true, "TimeHist": true, "Hist": true,
+	"Probe": true,
 }
 
 // Check implements Rule.

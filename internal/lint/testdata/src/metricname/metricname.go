@@ -21,5 +21,11 @@ func Use(name string, reg *obs.Registry) {
 	obs.Default().Inc("Bad Name") // want `metric name "Bad Name" does not match the pkg.name_unit convention`
 	reg.Inc(name)                 // want `obs.Inc metric name must be a compile-time string constant`
 
+	obs.Probe("metricname.sweep_probe").Iter(7) // probe names share the convention; Iter's int is clean
+	obs.Probe("linalg." + "lanczos")            // constant expressions fold: clean
+
+	obs.Probe("NotAProbe") // want `metric name "NotAProbe" does not match the pkg.name_unit convention`
+	obs.Probe(name)        // want `obs.Probe metric name must be a compile-time string constant`
+
 	obs.StartSpan(name) // span names are free-form: clean
 }

@@ -16,3 +16,12 @@ func Observe(name string, v float64) {}
 
 // StartSpan's name is free-form: not a metric entry point.
 func StartSpan(name string) {}
+
+// ProbeRef mirrors the solver event-probe handle. Iter's first argument is
+// an iteration number, not a metric name, so Iter is deliberately NOT a
+// metric entry point.
+type ProbeRef struct{}
+
+func Probe(name string) ProbeRef { return ProbeRef{} }
+
+func (ProbeRef) Iter(iter int64) {}

@@ -6,6 +6,8 @@ package maxflow
 import (
 	"errors"
 	"math"
+
+	"graphio/internal/obs"
 )
 
 // Inf is the capacity used for uncuttable edges.
@@ -114,18 +116,28 @@ func (f *Network) MaxFlow(s, t int) (int64, error) {
 	f.level = make([]int32, f.n)
 	f.iter = make([]int32, f.n)
 	var total int64
+	phase := int64(0)
 	for f.bfs(s, t) {
 		copy(f.iter, f.head)
+		paths := int64(0)
 		for {
 			pushed := f.dfs(int32(s), int32(t), Inf)
 			if pushed == 0 {
 				break
 			}
+			paths++
 			total += pushed
 			if total >= Inf {
 				return total, errors.New("maxflow: flow exceeds Inf — unbounded cut")
 			}
 		}
+		if obs.EventsEnabled() {
+			obs.Probe("maxflow.dinic").Iter(phase,
+				obs.FI("paths", paths),
+				obs.FI("flow", total),
+				obs.FI("level_t", int64(f.level[t])))
+		}
+		phase++
 	}
 	return total, nil
 }

@@ -277,7 +277,17 @@ func ConvexMinCutBoundContext(ctx context.Context, g *graph.Graph, opt Options) 
 					bestCut = cut
 					bestV = c.v
 				}
+				bestAfter := bestCut
 				mu.Unlock()
+				if obs.EventsEnabled() && err == nil {
+					// One event per evaluated flow, in candidate (UB) order;
+					// emitted concurrently by the worker pool.
+					obs.Probe("mincut.sweep").Iter(int64(i),
+						obs.FI("vertex", int64(c.v)),
+						obs.FI("ub", c.ub),
+						obs.FI("cut", cut),
+						obs.FI("best", bestAfter))
+				}
 			}
 		}()
 	}

@@ -19,6 +19,7 @@ import (
 //	-v               phase/solver telemetry log to stderr
 //	-metrics-out F   JSON metrics dump written to F on exit
 //	-trace-out F     Chrome trace-event JSON of completed spans (Perfetto)
+//	-events-out F    per-iteration solver events, CRC-framed JSONL journal
 //	-debug-addr A    HTTP debug server: /debug/pprof/, /metrics, /progress
 //	-cpuprofile F    runtime/pprof CPU profile
 //	-memprofile F    runtime/pprof heap profile (captured at exit)
@@ -35,6 +36,7 @@ type CLI struct {
 	Verbose    bool
 	MetricsOut string
 	TraceOut   string
+	EventsOut  string
 	DebugAddr  string
 	CPUProfile string
 	MemProfile string
@@ -58,6 +60,7 @@ func AddFlags(fs *flag.FlagSet) *CLI {
 	fs.BoolVar(&c.Verbose, "v", false, "log phase timings and solver telemetry to stderr")
 	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write collected metrics as JSON to this file on exit")
 	fs.StringVar(&c.TraceOut, "trace-out", "", "write completed spans as Chrome trace-event JSON to this file on exit (open in Perfetto)")
+	fs.StringVar(&c.EventsOut, "events-out", "", "write per-iteration solver events as a CRC-framed JSONL journal to this file on exit (render with obsreport convergence)")
 	fs.StringVar(&c.DebugAddr, "debug-addr", "", "serve /debug/pprof/, /metrics and /progress on this host:port while running")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
@@ -79,11 +82,14 @@ func (c *CLI) Begin() error {
 	if c.Verbose {
 		SetVerbose(os.Stderr)
 	}
-	if c.Verbose || c.MetricsOut != "" || c.TraceOut != "" || c.DebugAddr != "" {
+	if c.Verbose || c.MetricsOut != "" || c.TraceOut != "" || c.EventsOut != "" || c.DebugAddr != "" {
 		Enable(true)
 	}
 	if c.TraceOut != "" {
 		StartTrace()
+	}
+	if c.EventsOut != "" {
+		StartEvents()
 	}
 	if c.DebugAddr != "" {
 		stop, addr, err := StartDebugServer(c.DebugAddr)
@@ -196,6 +202,14 @@ func (c *CLI) finish() error {
 			firstErr = err
 		}
 		StopTrace()
+	}
+	if c.EventsOut != "" {
+		// Same contract as the trace dump: the journal is committed
+		// atomically, so the first-signal flush is CRC-clean end to end.
+		if err := DumpEvents(c.EventsOut); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		StopEvents()
 	}
 	if c.stopHTTP != nil {
 		if err := c.stopHTTP(); err != nil && firstErr == nil {

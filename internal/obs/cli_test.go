@@ -12,6 +12,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"graphio/internal/persist"
 )
 
 func TestCLIFinishIdempotent(t *testing.T) {
@@ -90,6 +92,43 @@ func TestCLITraceOutWritesPerfettoFile(t *testing.T) {
 	}
 }
 
+func TestCLIEventsOutWritesJournal(t *testing.T) {
+	Reset()
+	ResetEvents()
+	defer func() {
+		Enable(false)
+		StopEvents()
+		ResetEvents()
+		Reset()
+	}()
+	dir := t.TempDir()
+	c := &CLI{EventsOut: filepath.Join(dir, "events.jsonl")}
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if !EventsEnabled() {
+		t.Fatal("-events-out should enable the event collector")
+	}
+	Probe("cli.phase").Iter(0, F("resid", 1.5), FI("restart", 1))
+	Probe("cli.phase").Iter(1, F("resid", 0.5), FI("restart", 2))
+	if err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if EventsEnabled() {
+		t.Error("Finish should stop the event collector")
+	}
+	recs, err := persist.ReadJournal(c.EventsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d event records, want 2", len(recs))
+	}
+	if !strings.Contains(string(recs[1]), `"iter":1`) {
+		t.Errorf("second record = %s", recs[1])
+	}
+}
+
 func TestCLITimeoutDeadlinesContext(t *testing.T) {
 	c := &CLI{Timeout: 20 * time.Millisecond}
 	if err := c.Begin(); err != nil {
@@ -148,9 +187,10 @@ func TestCLIInterruptFlushesTelemetry(t *testing.T) {
 	dir := t.TempDir()
 	mout := filepath.Join(dir, "m.json")
 	tout := filepath.Join(dir, "t.json")
+	eout := filepath.Join(dir, "events.jsonl")
 	cmd := exec.Command(os.Args[0], "-test.run", "TestCLIInterruptFlushesTelemetry$")
 	cmd.Env = append(os.Environ(),
-		"OBS_CLI_INTERRUPT_CHILD=1", "OBS_CLI_MOUT="+mout, "OBS_CLI_TOUT="+tout)
+		"OBS_CLI_INTERRUPT_CHILD=1", "OBS_CLI_MOUT="+mout, "OBS_CLI_TOUT="+tout, "OBS_CLI_EOUT="+eout)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -208,11 +248,30 @@ func TestCLIInterruptFlushesTelemetry(t *testing.T) {
 	if !strings.Contains(trace, "child.sweep") {
 		t.Errorf("flushed trace missing span:\n%s", trace)
 	}
+	// The event journal must not just exist — it must be CRC-clean: every
+	// frame replayable, no torn tail from the interrupt-time flush.
+	recs, err := persist.ReadJournal(eout)
+	if err != nil {
+		t.Fatalf("interrupt-flushed event journal not clean: %v", err)
+	}
+	foundProbe := false
+	for _, r := range recs {
+		if strings.Contains(string(r), `"probe":"child.sweep_probe"`) {
+			foundProbe = true
+		}
+	}
+	if !foundProbe {
+		t.Errorf("flushed events missing probe record (%d records)", len(recs))
+	}
 }
 
 // cliInterruptChild is the body run inside the re-executed test binary.
 func cliInterruptChild() {
-	c := &CLI{MetricsOut: os.Getenv("OBS_CLI_MOUT"), TraceOut: os.Getenv("OBS_CLI_TOUT")}
+	c := &CLI{
+		MetricsOut: os.Getenv("OBS_CLI_MOUT"),
+		TraceOut:   os.Getenv("OBS_CLI_TOUT"),
+		EventsOut:  os.Getenv("OBS_CLI_EOUT"),
+	}
 	if err := c.Begin(); err != nil {
 		fmt.Println("CHILD_BEGIN_ERROR", err)
 		os.Exit(3)
@@ -220,6 +279,7 @@ func cliInterruptChild() {
 	Inc("child.sweep.counter")
 	sp := StartSpan("child.sweep")
 	sp.End()
+	Probe("child.sweep_probe").Iter(0, F("resid", 0.25))
 	fmt.Println("CHILD_READY")
 	// The new contract: the signal cancels Context(), the command winds down
 	// on its own, flushes through Finish, and exits 130 itself.

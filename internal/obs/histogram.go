@@ -83,6 +83,17 @@ type HistStat struct {
 	P50   float64 `json:"p50"`
 	P90   float64 `json:"p90"`
 	P99   float64 `json:"p99"`
+	// Buckets is the cumulative bucket table in Prometheus histogram
+	// convention: each entry counts observations ≤ LE, and only upper
+	// bounds whose underlying bucket is non-empty appear. Omitted from
+	// JSON when the histogram is empty, so older dumps stay comparable.
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// HistBucket is one cumulative bucket: Count observations had value ≤ LE.
+type HistBucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
 }
 
 // stat snapshots the histogram. Concurrent writers may land between the
@@ -100,6 +111,18 @@ func (h *hist) stat() HistStat {
 	for i := range b {
 		b[i] = h.buckets[i].Load()
 		total += b[i]
+	}
+	cum := int64(0)
+	for i, c := range b {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		_, hi := bucketBounds(i)
+		if i == 0 {
+			hi = 0 // bucket 0 holds v ≤ 0
+		}
+		s.Buckets = append(s.Buckets, HistBucket{LE: hi, Count: cum})
 	}
 	s.P50 = histQuantile(b[:], total, s.Min, s.Max, 0.50)
 	s.P90 = histQuantile(b[:], total, s.Min, s.Max, 0.90)

@@ -79,18 +79,29 @@ type progressSnapshot struct {
 	TraceEnabled   bool           `json:"trace_enabled"`
 	TraceBuffered  int            `json:"trace_buffered"`
 	TraceDropped   int64          `json:"trace_dropped"`
+	EventsEnabled  bool           `json:"events_enabled"`
+	EventsBuffered int            `json:"events_buffered"`
+	EventsDropped  int64          `json:"events_dropped"`
+	Sweep          *SweepStatus   `json:"sweep,omitempty"`
 	OpenSpans      []OpenSpanInfo `json:"open_spans"`
 }
 
 func handleProgress(w http.ResponseWriter, _ *http.Request) {
 	buffered, dropped := TraceStats()
+	ebuf, edropped := EventStats()
 	snap := progressSnapshot{
 		UptimeSeconds:  time.Since(procStart).Seconds(),
 		MetricsEnabled: Enabled(),
 		TraceEnabled:   TraceEnabled(),
 		TraceBuffered:  buffered,
 		TraceDropped:   dropped,
+		EventsEnabled:  EventsEnabled(),
+		EventsBuffered: ebuf,
+		EventsDropped:  edropped,
 		OpenSpans:      OpenSpans(),
+	}
+	if st, ok := CurrentSweepStatus(); ok {
+		snap.Sweep = &st
 	}
 	if snap.OpenSpans == nil {
 		snap.OpenSpans = []OpenSpanInfo{}
@@ -142,11 +153,21 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 	for _, k := range names {
 		h := s.Hists[k]
 		n := promName(k)
-		fmt.Fprintf(w, "# TYPE %s summary\n", n)
-		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %g\n", n, h.P50)
-		fmt.Fprintf(w, "%s{quantile=\"0.9\"} %g\n", n, h.P90)
-		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %g\n", n, h.P99)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+		for _, b := range h.Buckets {
+			fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", n, b.LE, b.Count)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
 		fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", n, h.Sum, n, h.Count)
+		// Quantiles ride along as their own gauge families: a Prometheus
+		// family cannot be both histogram and summary, and the estimates
+		// are cheap to precompute server-side.
+		for _, q := range []struct {
+			suffix string
+			v      float64
+		}{{"_p50", h.P50}, {"_p90", h.P90}, {"_p99", h.P99}} {
+			fmt.Fprintf(w, "# TYPE %s%s gauge\n%s%s %g\n", n, q.suffix, n, q.suffix, q.v)
+		}
 	}
 }
 

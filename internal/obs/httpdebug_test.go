@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -46,9 +47,15 @@ func TestWritePrometheusFormat(t *testing.T) {
 		"# TYPE linalg_matvecs counter\nlinalg_matvecs 42\n",
 		"# TYPE wall_seconds gauge\nwall_seconds 1.5\n",
 		"# TYPE span_core_ns summary\nspan_core_ns_sum 40000000\nspan_core_ns_count 1\n",
-		"# TYPE core_boundk_ns summary\n",
-		"core_boundk_ns{quantile=\"0.5\"}",
+		"# TYPE core_boundk_ns histogram\n",
+		"core_boundk_ns_bucket{le=\"2\"} 1\n",
+		"core_boundk_ns_bucket{le=\"4\"} 3\n",
+		"core_boundk_ns_bucket{le=\"64\"} 63\n",
+		"core_boundk_ns_bucket{le=\"128\"} 100\n",
+		"core_boundk_ns_bucket{le=\"+Inf\"} 100\n",
 		"core_boundk_ns_sum 5050\ncore_boundk_ns_count 100\n",
+		"# TYPE core_boundk_ns_p50 gauge\n",
+		"# TYPE core_boundk_ns_p99 gauge\n",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("prometheus output missing %q:\n%s", want, out)
@@ -98,7 +105,7 @@ func TestDebugServerEndpoints(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("/metrics status = %d", code)
 	}
-	for _, want := range []string{"debug_test_counter 1", "# TYPE debug_test_lat_ns summary"} {
+	for _, want := range []string{"debug_test_counter 1", "# TYPE debug_test_lat_ns histogram", "debug_test_lat_ns_bucket{le=\"+Inf\"} 1"} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, body)
 		}
@@ -174,4 +181,132 @@ func TestMetricsHandlerHTTPTest(t *testing.T) {
 	if !strings.Contains(rec.Body.String(), fmt.Sprintf("rt_counter %d", 7)) {
 		t.Errorf("body missing counter:\n%s", rec.Body.String())
 	}
+}
+
+// TestMetricsHistogramBucketsHTTPTest scrapes /metrics through httptest
+// and checks the histogram exposition is internally consistent: bucket
+// counts are cumulative (monotone non-decreasing in le order) and the
+// +Inf bucket equals _count, with the p50/p90/p99 gauges present.
+func TestMetricsHistogramBucketsHTTPTest(t *testing.T) {
+	Reset()
+	Enable(true)
+	defer func() {
+		Enable(false)
+		Reset()
+	}()
+	for i := int64(1); i <= 1000; i++ {
+		ObserveHist("rt.lat_ns", i*i)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	handleMetrics(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+
+	var last int64 = -1
+	buckets := 0
+	var infCount, count int64 = -1, -1
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "rt_lat_ns_bucket{le=\"+Inf\"} "):
+			fmt.Sscanf(line, "rt_lat_ns_bucket{le=\"+Inf\"} %d", &infCount)
+		case strings.HasPrefix(line, "rt_lat_ns_bucket{"):
+			var c int64
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				t.Fatalf("malformed bucket line %q", line)
+			}
+			fmt.Sscanf(fields[1], "%d", &c)
+			if c < last {
+				t.Errorf("bucket counts not cumulative: %q after %d", line, last)
+			}
+			last = c
+			buckets++
+		case strings.HasPrefix(line, "rt_lat_ns_count "):
+			fmt.Sscanf(line, "rt_lat_ns_count %d", &count)
+		}
+	}
+	if buckets < 5 {
+		t.Errorf("only %d finite buckets exported", buckets)
+	}
+	if count != 1000 || infCount != count {
+		t.Errorf("le=\"+Inf\" bucket %d != _count %d (want 1000)", infCount, count)
+	}
+	for _, q := range []string{"rt_lat_ns_p50 ", "rt_lat_ns_p90 ", "rt_lat_ns_p99 "} {
+		if !strings.Contains(body, q) {
+			t.Errorf("missing quantile gauge %q", q)
+		}
+	}
+}
+
+// TestProgressUnderSpanChurn hammers /progress while goroutines open and
+// close spans — the race the open-span table exists to survive. Run with
+// -race this is the satellite's concurrency check.
+func TestProgressUnderSpanChurn(t *testing.T) {
+	Reset()
+	Enable(true)
+	defer func() {
+		Enable(false)
+		Reset()
+	}()
+	SetSweepStatus(func() (SweepStatus, bool) {
+		return SweepStatus{Total: 10, Done: 3, Current: "fig7_fft", ETAKnown: true, ETANS: 42}, true
+	})
+	defer SetSweepStatus(nil)
+	stop, addr, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	done := make(chan struct{})
+	var churn sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		churn.Add(1)
+		go func(g int) {
+			defer churn.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				sp := StartSpan("churn.phase")
+				sp.Child("inner").End()
+				sp.End()
+			}
+		}(g)
+	}
+	var gets sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		gets.Add(1)
+		go func() {
+			defer gets.Done()
+			for i := 0; i < 25; i++ {
+				resp, err := http.Get("http://" + addr + "/progress")
+				if err != nil {
+					t.Errorf("GET /progress: %v", err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				var snap progressSnapshot
+				if err := json.Unmarshal(body, &snap); err != nil {
+					t.Errorf("/progress not valid JSON under churn: %v", err)
+					return
+				}
+				if snap.Sweep == nil || snap.Sweep.Total != 10 || snap.Sweep.Current != "fig7_fft" {
+					t.Errorf("/progress sweep status = %+v", snap.Sweep)
+					return
+				}
+			}
+		}()
+	}
+	gets.Wait()
+	close(done)
+	churn.Wait()
 }

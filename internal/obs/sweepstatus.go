@@ -1,0 +1,43 @@
+package obs
+
+import "sync/atomic"
+
+// SweepStatus is a long-running sweep's self-reported progress, published
+// through SetSweepStatus so /progress can show it. The obs package defines
+// the type (rather than internal/experiments) because the debug server
+// lives here and experiments already depends on obs; the provider hook
+// keeps the dependency pointing one way.
+type SweepStatus struct {
+	Total            int    `json:"total"`             // experiments selected for this run
+	Done             int    `json:"done"`              // completed (ok or failed)
+	Failed           int    `json:"failed"`            // subset of Done that failed
+	Skipped          int    `json:"skipped"`           // resume/selection skips
+	Current          string `json:"current,omitempty"` // experiment running now
+	CurrentElapsedNS int64  `json:"current_elapsed_ns,omitempty"`
+	ETAKnown         bool   `json:"eta_known"`        // false until any wall-time history exists
+	ETANS            int64  `json:"eta_ns,omitempty"` // estimated remaining time, valid when ETAKnown
+}
+
+// sweepStatusFn holds a func() (SweepStatus, bool); a stored typed nil
+// means no sweep is publishing (atomic.Value cannot hold untyped nil).
+var sweepStatusFn atomic.Value
+
+// SetSweepStatus installs (or, with nil, removes) the provider /progress
+// polls for sweep progress. The provider must be safe to call from any
+// goroutine at any time while installed.
+func SetSweepStatus(fn func() (SweepStatus, bool)) {
+	if fn == nil {
+		sweepStatusFn.Store((func() (SweepStatus, bool))(nil))
+		return
+	}
+	sweepStatusFn.Store(fn)
+}
+
+// CurrentSweepStatus reports the active sweep's progress, if a provider
+// is installed and has something to report.
+func CurrentSweepStatus() (SweepStatus, bool) {
+	if fn, ok := sweepStatusFn.Load().(func() (SweepStatus, bool)); ok && fn != nil {
+		return fn()
+	}
+	return SweepStatus{}, false
+}

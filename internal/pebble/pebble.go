@@ -132,6 +132,13 @@ func SimulateContext(ctx context.Context, g *graph.Graph, order []int, M int, po
 				simDone()
 				return Result{}, fmt.Errorf("pebble: simulation interrupted: %w", err)
 			}
+			if obs.EventsEnabled() {
+				// Sampled at the existing cancellation boundary so the
+				// per-step hot path stays event-free between checkpoints.
+				obs.Probe("pebble.simulate").Iter(int64(i),
+					obs.FI("reads", int64(s.res.Reads)),
+					obs.FI("writes", int64(s.res.Writes)))
+			}
 		}
 		s.step = int64(i)
 		if err := s.evaluate(v); err != nil {
@@ -327,7 +334,7 @@ func BestOrderContext(ctx context.Context, g *graph.Graph, M int, policy Policy,
 	var bestOrder []int
 	bestName := ""
 	var firstErr error
-	for _, c := range cands {
+	for ci, c := range cands {
 		if err := ctx.Err(); err != nil {
 			sp.End()
 			return Result{}, nil, "", fmt.Errorf("pebble: order search interrupted: %w", err)
@@ -341,6 +348,13 @@ func BestOrderContext(ctx context.Context, g *graph.Graph, M int, policy Policy,
 		}
 		if res.Total() < best.Total() {
 			best, bestOrder, bestName = res, c.order, c.name
+		}
+		if obs.EventsEnabled() {
+			obs.Probe("pebble.best_order").Iter(int64(ci),
+				obs.FI("reads", int64(res.Reads)),
+				obs.FI("writes", int64(res.Writes)),
+				obs.FI("io", int64(res.Total())),
+				obs.FI("best_io", int64(best.Total())))
 		}
 	}
 	if bestOrder == nil {

@@ -108,6 +108,49 @@ func replay(path string, data []byte) (records [][]byte, goodLen int, err error)
 	return records, off, nil
 }
 
+// ReadJournal replays the journal at path without opening it for append
+// and without mutating it: a torn final record is discarded (and counted
+// under persist.journal.torn) but the file is left exactly as found, so
+// report tools can inspect a journal another process may still own.
+// Earlier corruption is a *CorruptError, as in OpenJournal. A missing
+// file reads as an empty journal.
+func ReadJournal(path string) ([][]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	records, goodLen, repErr := replay(path, data)
+	if repErr != nil {
+		return nil, repErr
+	}
+	if goodLen < len(data) {
+		Count("persist.journal.torn")
+	}
+	return records, nil
+}
+
+// FrameRecord wraps rec (which must be a single line of valid JSON) in
+// the journal's on-disk framing — {"crc":"xxxxxxxx","rec":<payload>} plus
+// a trailing newline. It is exported so collectors that buffer records in
+// memory (internal/obs event logs) can emit journal-compatible files
+// through WriteTo instead of paying a per-record fsync.
+func FrameRecord(rec []byte) ([]byte, error) {
+	if !json.Valid(rec) {
+		return nil, fmt.Errorf("persist: journal record is not valid JSON")
+	}
+	if bytes.IndexByte(rec, '\n') >= 0 {
+		return nil, fmt.Errorf("persist: journal record contains a newline")
+	}
+	frame, err := json.Marshal(journalLine{CRC: crcHex(rec), Rec: json.RawMessage(rec)})
+	if err != nil {
+		return nil, err
+	}
+	return append(frame, '\n'), nil
+}
+
 // parseLine unframes one journal line and verifies its checksum.
 func parseLine(raw []byte) ([]byte, error) {
 	var jl journalLine
@@ -126,17 +169,10 @@ func parseLine(raw []byte) ([]byte, error) {
 // Append frames rec (which must be a single line of valid JSON), writes
 // it, and fsyncs. When Append returns nil the record is durable.
 func (j *Journal) Append(rec []byte) error {
-	if !json.Valid(rec) {
-		return fmt.Errorf("persist: journal %s: record is not valid JSON", j.path)
-	}
-	if bytes.IndexByte(rec, '\n') >= 0 {
-		return fmt.Errorf("persist: journal %s: record contains a newline", j.path)
-	}
-	frame, err := json.Marshal(journalLine{CRC: crcHex(rec), Rec: json.RawMessage(rec)})
+	frame, err := FrameRecord(rec)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w (journal %s)", err, j.path)
 	}
-	frame = append(frame, '\n')
 	if _, err := j.f.Write(frame); err != nil {
 		return fmt.Errorf("persist: appending to journal %s: %w", j.path, err)
 	}

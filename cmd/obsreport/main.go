@@ -92,10 +92,11 @@ type spanAgg struct {
 
 // input is one loaded telemetry file, normalized across the three formats.
 type input struct {
-	path  string
-	kind  string             // "metrics", "trace", "bench"
-	snap  *obs.Snapshot      // kind == "metrics"
-	spans map[string]spanAgg // phase tree input ("a/b/c" paths)
+	path   string
+	kind   string             // "metrics", "trace", "bench"
+	snap   *obs.Snapshot      // kind == "metrics"
+	scopes []obs.ScopeSection // kind == "metrics", scoped sweeps only
+	spans  map[string]spanAgg // phase tree input ("a/b/c" paths)
 	// values maps flattened metric keys to comparable numbers; timeLike
 	// marks the keys where an increase means a slowdown.
 	values   map[string]float64
@@ -161,11 +162,16 @@ func (in *input) fromTrace(raw json.RawMessage) (*input, error) {
 
 func (in *input) fromSnapshot(b []byte) (*input, error) {
 	in.kind = "metrics"
-	var s obs.Snapshot
-	if err := json.Unmarshal(b, &s); err != nil {
+	// Dump embeds Snapshot, so this parses both the scoped shape written
+	// since the per-task telemetry refactor and older plain snapshots
+	// (whose scopes list simply comes back empty).
+	var d obs.Dump
+	if err := json.Unmarshal(b, &d); err != nil {
 		return nil, fmt.Errorf("%s: bad metrics snapshot: %w", in.path, err)
 	}
+	s := d.Snapshot
 	in.snap = &s
+	in.scopes = d.Scopes
 	for name, t := range s.Timers {
 		if short, ok := strings.CutPrefix(name, "span."); ok {
 			in.spans[short] = spanAgg{count: t.Count, totalNS: t.TotalNS}
@@ -293,6 +299,7 @@ func report(w io.Writer, in *input, top int) error {
 		writeCounters(&b, in.snap, top)
 		writeGauges(&b, in.snap)
 		writeHists(&b, in.snap)
+		writeScopes(&b, in.scopes)
 	}
 	if in.kind == "bench" {
 		writeBench(&b, in)
@@ -354,6 +361,41 @@ func writeHists(b *strings.Builder, s *obs.Snapshot) {
 		} else {
 			fmt.Fprintf(b, "  %-44s %9d %11.1f %11.1f %11.1f %11.1f %11d\n", k, h.Count,
 				h.Mean, h.P50, h.P90, h.P99, h.Max)
+		}
+	}
+}
+
+// writeScopes renders the per-task sections of a scoped metrics dump: one
+// line per scope (sweep, experiment, test, ...) with its wall time, event
+// count, and largest counters. The section values are a decomposition of
+// the process-wide numbers above, not additions to them.
+func writeScopes(b *strings.Builder, scopes []obs.ScopeSection) {
+	if len(scopes) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "\nscopes (per-task decomposition)\n")
+	for _, sc := range scopes {
+		fmt.Fprintf(b, "  %-8s %-34s wall %-11s events %d\n",
+			sc.ID, sc.Path, fmtDur(sc.WallNS), sc.Events)
+		type kv struct {
+			k string
+			v int64
+		}
+		top := make([]kv, 0, len(sc.Metrics.Counters))
+		for k, v := range sc.Metrics.Counters {
+			top = append(top, kv{k, v})
+		}
+		sort.Slice(top, func(i, j int) bool {
+			if top[i].v != top[j].v {
+				return top[i].v > top[j].v
+			}
+			return top[i].k < top[j].k
+		})
+		if len(top) > 5 {
+			top = top[:5]
+		}
+		for _, e := range top {
+			fmt.Fprintf(b, "    %-42s %d\n", e.k, e.v)
 		}
 	}
 }

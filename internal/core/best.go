@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"graphio/internal/graph"
@@ -31,7 +32,13 @@ type BestReport struct {
 // graph; mincutTimeout bounds the baseline sweep (0 disables the baseline
 // entirely, which is the right choice above ~50k vertices).
 func BestLowerBound(g *graph.Graph, M int, maxK int, mincutTimeout time.Duration) (*BestReport, error) {
-	sp := obs.StartSpan("core.best_lower_bound")
+	return BestLowerBoundContext(context.Background(), g, M, maxK, mincutTimeout)
+}
+
+// BestLowerBoundContext is BestLowerBound with cancellation and telemetry
+// attributed to ctx's scope.
+func BestLowerBoundContext(ctx context.Context, g *graph.Graph, M int, maxK int, mincutTimeout time.Duration) (*BestReport, error) {
+	sp := obs.StartSpanCtx(ctx, "core.best_lower_bound")
 	rep := &BestReport{}
 	add := func(method string, bound float64, elapsed time.Duration) {
 		lb := LowerBound{Method: method, Bound: bound, Elapsed: elapsed}
@@ -40,12 +47,12 @@ func BestLowerBound(g *graph.Graph, M int, maxK int, mincutTimeout time.Duration
 			rep.Best = lb
 		}
 		//lint:ignore metric-name bounded family core.best.<method>; methods are the fixed candidate list assembled above
-		obs.Observe("core.best."+method, elapsed)
-		obs.Logf("best: %-9s bound=%.4f in %v", method, bound, elapsed.Round(time.Microsecond))
+		obs.ObserveCtx(ctx, "core.best."+method, elapsed)
+		obs.LogCtx(ctx, "best: %-9s bound=%.4f in %v", method, bound, elapsed.Round(time.Microsecond))
 	}
 
 	start := obs.Now()
-	t4, err := SpectralBound(g, Options{M: M, MaxK: maxK})
+	t4, err := SpectralBoundContext(ctx, g, Options{M: M, MaxK: maxK})
 	if err != nil {
 		return nil, err
 	}
@@ -55,14 +62,14 @@ func BestLowerBound(g *graph.Graph, M int, maxK int, mincutTimeout time.Duration
 	// is cheap relative to the baseline and occasionally wins on graphs
 	// whose normalized spectrum is flattened by skewed out-degrees.
 	start = obs.Now()
-	t5, err := SpectralBound(g, Options{M: M, MaxK: maxK, Laplacian: laplacian.Original})
+	t5, err := SpectralBoundContext(ctx, g, Options{M: M, MaxK: maxK, Laplacian: laplacian.Original})
 	if err != nil {
 		return nil, err
 	}
 	add("theorem5", t5.Bound, obs.Since(start))
 
 	if mincutTimeout > 0 {
-		mc, err := mincut.ConvexMinCutBound(g, mincut.Options{M: M, Timeout: mincutTimeout})
+		mc, err := mincut.ConvexMinCutBoundContext(ctx, g, mincut.Options{M: M, Timeout: mincutTimeout})
 		if err != nil {
 			return nil, err
 		}

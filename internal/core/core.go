@@ -225,7 +225,7 @@ func SpectralBoundContext(ctx context.Context, g *graph.Graph, opt Options) (*Re
 		return nil, fmt.Errorf("core: unknown solver %v", opt.Solver)
 	}
 
-	sp := obs.StartSpan("core.spectral_bound")
+	sp := obs.StartSpanCtx(ctx, "core.spectral_bound")
 	sp.SetInt("n", int64(n))
 	sp.SetInt("h", int64(h))
 	sp.SetStr("solver", solver.String())
@@ -255,7 +255,7 @@ func SpectralBoundContext(ctx context.Context, g *graph.Graph, opt Options) (*Re
 		}
 	}
 	ksp := sp.Child("ksweep")
-	bound, bestK, perK := BoundFromEigenvalues(lambda, n, opt.M, opt.Processors, divisor)
+	bound, bestK, perK := BoundFromEigenvaluesContext(ctx, lambda, n, opt.M, opt.Processors, divisor)
 	ksp.End()
 	if math.IsNaN(bound) || math.IsInf(bound, 0) {
 		return nil, &NonFiniteError{Where: "k-sweep bound"}
@@ -286,7 +286,7 @@ func solveSpectrum(ctx context.Context, g *graph.Graph, solver Solver, kind lapl
 	var events []string
 
 	if solver == SolverDense {
-		lambda, err := denseSpectrum(g, kind, h, sp)
+		lambda, err := denseSpectrum(ctx, g, kind, h, sp)
 		if err == nil {
 			return lambda, SolverDense, kind, nil, nil
 		}
@@ -296,7 +296,7 @@ func solveSpectrum(ctx context.Context, g *graph.Graph, solver Solver, kind lapl
 		// The dense path has no iteration budget to exhaust; a failure here
 		// means a degenerate matrix. The iterative chain below is still
 		// worth a shot before giving up.
-		events = recordFallback(events, "solver",
+		events = recordFallback(ctx, events, "solver",
 			fmt.Sprintf("dense solve failed (%v); escalating to iterative solvers", err))
 		solver = SolverChebyshev
 	}
@@ -314,7 +314,7 @@ func solveSpectrum(ctx context.Context, g *graph.Graph, solver Solver, kind lapl
 	// the max-out-degree divisor is a sound (if looser) bound whenever the
 	// normalized solve cannot be completed.
 	if kind == laplacian.OutDegreeNormalized {
-		events = recordFallback(events, "theorem5",
+		events = recordFallback(ctx, events, "theorem5",
 			fmt.Sprintf("all solvers failed on the normalized Laplacian (%v); falling back to the Theorem 5 bound on the original Laplacian", err))
 		lambda, used, evs, err5 := iterativeChain(ctx, g, SolverChebyshev, laplacian.Original, h, opt, sp)
 		events = append(events, evs...)
@@ -362,7 +362,7 @@ func iterativeChain(ctx context.Context, g *graph.Graph, requested Solver, kind 
 		lambda, err := attemptSolve(ctx, L, c, h, at, opt, sp)
 		if err == nil {
 			if ferr := linalg.CheckFinite("eigensolve output", lambda); ferr != nil {
-				obs.Inc("core.fallback.nonfinite")
+				obs.IncCtx(ctx, "core.fallback.nonfinite")
 				err = &NonFiniteError{Where: fmt.Sprintf("%v eigensolve output", at.solver)}
 			} else {
 				return lambda, at.solver, events, nil
@@ -370,7 +370,7 @@ func iterativeChain(ctx context.Context, g *graph.Graph, requested Solver, kind 
 		}
 		if isInterrupt(err) {
 			if errors.Is(err, context.DeadlineExceeded) {
-				obs.Inc("core.deadline.hit")
+				obs.IncCtx(ctx, "core.deadline.hit")
 			}
 			return nil, used, events, fmt.Errorf("core: %v eigensolve: %w", at.solver, err)
 		}
@@ -384,10 +384,10 @@ func iterativeChain(ctx context.Context, g *graph.Graph, requested Solver, kind 
 		if i+1 < len(attempts) {
 			next := attempts[i+1]
 			if next.perturb {
-				events = recordFallback(events, "retry",
+				events = recordFallback(ctx, events, "retry",
 					fmt.Sprintf("%v failed (%v); retrying with a perturbed start seed", at.solver, err))
 			} else {
-				events = recordFallback(events, "solver",
+				events = recordFallback(ctx, events, "solver",
 					fmt.Sprintf("%v failed (%v); switching to %v", at.solver, err, next.solver))
 			}
 		} else {
@@ -397,12 +397,12 @@ func iterativeChain(ctx context.Context, g *graph.Graph, requested Solver, kind 
 
 	// Dense terminal step for this Laplacian kind, size permitting.
 	if opt.DenseFallbackCap >= 0 && g.N() <= opt.DenseFallbackCap {
-		events = recordFallback(events, "dense",
+		events = recordFallback(ctx, events, "dense",
 			"all iterative solvers failed; falling back to the dense solver")
-		lambda, err := denseSpectrum(g, kind, h, sp)
+		lambda, err := denseSpectrum(ctx, g, kind, h, sp)
 		if err == nil {
 			if ferr := linalg.CheckFinite("dense eigensolve output", lambda); ferr != nil {
-				obs.Inc("core.fallback.nonfinite")
+				obs.IncCtx(ctx, "core.fallback.nonfinite")
 				return nil, SolverDense, events, errors.Join(firstErr, ferr)
 			}
 			return lambda, SolverDense, events, nil
@@ -427,7 +427,7 @@ func attemptSolve(ctx context.Context, L *linalg.CSR, c float64, h int, at solve
 	}
 	var cnt *linalg.CountingOperator
 	if obs.Enabled() {
-		cnt = &linalg.CountingOperator{A: op}
+		cnt = &linalg.CountingOperator{A: op, Scope: obs.FromContext(ctx)}
 		op = cnt
 	}
 	esp := sp.Child("eigensolve")
@@ -455,38 +455,39 @@ func attemptSolve(ctx context.Context, L *linalg.CSR, c float64, h int, at solve
 		lambda, err = linalg.ChebFilteredSmallestContext(ctx, op, c, h, co)
 	}
 	if cnt != nil {
-		obs.Add("linalg.matvecs", cnt.Count())
+		obs.AddCtx(ctx, "linalg.matvecs", cnt.Count())
 	}
 	esp.End()
 	return lambda, err
 }
 
 // denseSpectrum computes the h smallest eigenvalues with the dense solver.
-func denseSpectrum(g *graph.Graph, kind laplacian.Kind, h int, sp *obs.Span) ([]float64, error) {
+func denseSpectrum(ctx context.Context, g *graph.Graph, kind laplacian.Kind, h int, sp *obs.Span) ([]float64, error) {
 	lsp := sp.Child("laplacian")
 	L := laplacian.BuildDense(g, kind)
 	lsp.End()
 	esp := sp.Child("eigensolve")
 	esp.SetStr("solver", "dense")
-	vals, err := linalg.SymEigValues(L)
+	vals, err := linalg.SymEigValuesContext(ctx, L)
 	esp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: dense eigensolve: %w", err)
 	}
 	// The dense path applies no operator products; register the matvec
 	// counter anyway so the metric exists for every solver choice.
-	obs.Add("linalg.matvecs", 0)
+	obs.AddCtx(ctx, "linalg.matvecs", 0)
 	if len(vals) > h {
 		vals = vals[:h]
 	}
 	return vals, nil
 }
 
-// recordFallback appends a degradation event and bumps its counters.
-func recordFallback(events []string, kindName, msg string) []string {
+// recordFallback appends a degradation event and bumps its counters,
+// attributed to ctx's telemetry scope.
+func recordFallback(ctx context.Context, events []string, kindName, msg string) []string {
 	//lint:ignore metric-name bounded family core.fallback.<kind>; kinds are the fallbackKind constants in this package
-	obs.Inc("core.fallback." + kindName)
-	obs.Inc("core.fallback.total")
+	obs.IncCtx(ctx, "core.fallback."+kindName)
+	obs.IncCtx(ctx, "core.fallback.total")
 	return append(events, msg)
 }
 
@@ -552,6 +553,16 @@ func perturbCheb(o *linalg.ChebOptions) *linalg.ChebOptions {
 // non-positive or non-finite divisor is treated as 1, and overflowing per-k
 // values saturate at ±math.MaxFloat64.
 func BoundFromEigenvalues(lambda []float64, n, M, p int, divisor float64) (bound float64, bestK int, perK []float64) {
+	return boundFromEigenvalues(nil, lambda, n, M, p, divisor)
+}
+
+// BoundFromEigenvaluesContext is BoundFromEigenvalues with the per-k
+// timing histogram attributed to ctx's telemetry scope.
+func BoundFromEigenvaluesContext(ctx context.Context, lambda []float64, n, M, p int, divisor float64) (bound float64, bestK int, perK []float64) {
+	return boundFromEigenvalues(obs.FromContext(ctx), lambda, n, M, p, divisor)
+}
+
+func boundFromEigenvalues(sc *obs.Scope, lambda []float64, n, M, p int, divisor float64) (bound float64, bestK int, perK []float64) {
 	if p < 1 {
 		p = 1
 	}
@@ -591,7 +602,7 @@ func BoundFromEigenvalues(lambda []float64, n, M, p int, divisor float64) (bound
 		}
 		perK[i] = v
 		if timed {
-			obs.ObserveHistDuration("core.boundk_ns", obs.Since(t0))
+			sc.ObserveHistDuration("core.boundk_ns", obs.Since(t0))
 		}
 	}
 	raw := rawMax(perK)

@@ -28,12 +28,19 @@ func failFastSolverOpts(o *Options) {
 }
 
 func TestFallbackChainSurvivesForcedLanczosNonConvergence(t *testing.T) {
-	obs.Reset()
+	// Per-test scope instead of obs.Reset(): the fallback counters are read
+	// from this scope, so concurrent tests (or the /progress churn suite)
+	// touching the default registry cannot interfere and nothing needs a
+	// destructive global reset.
 	obs.Enable(true)
-	defer func() {
-		obs.Enable(false)
-		obs.Reset()
-	}()
+	defer obs.Enable(false)
+	sc := obs.NewScope(t.Name())
+	defer sc.Close()
+	ctx := obs.WithScope(context.Background(), sc)
+	// faultinject is deliberately unscoped (process-level fault counters),
+	// so that one assertion uses a before/after delta on the default
+	// registry instead.
+	faultedBefore := obs.Default().Counter("faultinject.faulted_matvecs")
 	g := hypercubeDAG(6)
 	opt := Options{M: 4, MaxK: 8, Solver: SolverLanczos}
 	failFastSolverOpts(&opt)
@@ -43,7 +50,7 @@ func TestFallbackChainSurvivesForcedLanczosNonConvergence(t *testing.T) {
 	opt.WrapOperator = func(op linalg.Operator) linalg.Operator {
 		return &faultinject.Op{A: op, NoiseFrom: 1, NoiseAmp: 5}
 	}
-	res, err := SpectralBound(g, opt)
+	res, err := SpectralBoundContext(ctx, g, opt)
 	if err != nil {
 		t.Fatalf("bound under injected Lanczos failure: %v", err)
 	}
@@ -65,31 +72,29 @@ func TestFallbackChainSurvivesForcedLanczosNonConvergence(t *testing.T) {
 		t.Errorf("degraded bound %g != clean dense bound %g", res.Bound, clean.Bound)
 	}
 
-	reg := obs.Default()
-	if n := reg.Counter("core.fallback.retry"); n < 1 {
+	if n := sc.Counter("core.fallback.retry"); n < 1 {
 		t.Errorf("core.fallback.retry = %d, want ≥ 1", n)
 	}
-	if n := reg.Counter("core.fallback.solver"); n < 1 {
+	if n := sc.Counter("core.fallback.solver"); n < 1 {
 		t.Errorf("core.fallback.solver = %d, want ≥ 1", n)
 	}
-	if n := reg.Counter("core.fallback.dense"); n < 1 {
+	if n := sc.Counter("core.fallback.dense"); n < 1 {
 		t.Errorf("core.fallback.dense = %d, want ≥ 1", n)
 	}
-	if n := reg.Counter("core.fallback.total"); n < 3 {
+	if n := sc.Counter("core.fallback.total"); n < 3 {
 		t.Errorf("core.fallback.total = %d, want ≥ 3", n)
 	}
-	if n := reg.Counter("faultinject.faulted_matvecs"); n < 1 {
-		t.Errorf("faultinject.faulted_matvecs = %d, want ≥ 1", n)
+	if n := obs.Default().Counter("faultinject.faulted_matvecs") - faultedBefore; n < 1 {
+		t.Errorf("faultinject.faulted_matvecs delta = %d, want ≥ 1", n)
 	}
 }
 
 func TestTheorem5RouteWhenDenseFallbackDisabled(t *testing.T) {
-	obs.Reset()
 	obs.Enable(true)
-	defer func() {
-		obs.Enable(false)
-		obs.Reset()
-	}()
+	defer obs.Enable(false)
+	sc := obs.NewScope(t.Name())
+	defer sc.Close()
+	ctx := obs.WithScope(context.Background(), sc)
 	g := hypercubeDAG(6)
 	opt := Options{M: 4, MaxK: 8, Solver: SolverChebyshev, DenseFallbackCap: -1}
 	failFastSolverOpts(&opt)
@@ -107,7 +112,7 @@ func TestTheorem5RouteWhenDenseFallbackDisabled(t *testing.T) {
 		}
 		return op
 	}
-	res, err := SpectralBound(g, opt)
+	res, err := SpectralBoundContext(ctx, g, opt)
 	if err != nil {
 		t.Fatalf("bound via Theorem 5 route: %v", err)
 	}
@@ -117,7 +122,7 @@ func TestTheorem5RouteWhenDenseFallbackDisabled(t *testing.T) {
 	if !res.Degraded {
 		t.Error("Degraded not set")
 	}
-	if n := obs.Default().Counter("core.fallback.theorem5"); n != 1 {
+	if n := sc.Counter("core.fallback.theorem5"); n != 1 {
 		t.Errorf("core.fallback.theorem5 = %d, want 1", n)
 	}
 

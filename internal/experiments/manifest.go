@@ -68,6 +68,14 @@ type manifestRecord struct {
 	// recExperiment and recReport: the committed artifact and its hash.
 	Artifact string `json:"artifact,omitempty"`
 	SHA256   string `json:"sha256,omitempty"`
+
+	// recExperiment: the telemetry scope the experiment ran under and the
+	// digest of that scope's metric snapshot at completion, tying the
+	// manifest row to its section in a -metrics-out dump and to the
+	// scope/scope_id tags on -events-out records. Informational only:
+	// scope IDs are per-process, so resume skip decisions ignore both.
+	ScopeID       string `json:"scope_id,omitempty"`
+	MetricsSHA256 string `json:"metrics_sha256,omitempty"`
 }
 
 const (
@@ -188,20 +196,38 @@ func (m *sweepManifest) append(rec manifestRecord) error {
 }
 
 // completed records a successful experiment and its committed artifact.
-func (m *sweepManifest) completed(t *Table, sha string, wall time.Duration) error {
-	return m.append(manifestRecord{
+// sc, when non-nil and telemetry is enabled, stamps the record with the
+// experiment's scope ID and metric-snapshot digest.
+func (m *sweepManifest) completed(t *Table, sha string, wall time.Duration, sc *obs.Scope) error {
+	rec := manifestRecord{
 		Kind: recExperiment, ConfigHash: m.hash,
 		Name: t.Name, Title: t.Title, Status: statusOK,
 		Artifact: t.Name + ".csv", SHA256: sha, WallMS: wall.Milliseconds(),
-	})
+	}
+	stampScope(&rec, sc)
+	return m.append(rec)
 }
 
 // failed records an experiment that ran and errored.
-func (m *sweepManifest) failed(name string, wall time.Duration, cause error) error {
-	return m.append(manifestRecord{
+func (m *sweepManifest) failed(name string, wall time.Duration, cause error, sc *obs.Scope) error {
+	rec := manifestRecord{
 		Kind: recExperiment, ConfigHash: m.hash,
 		Name: name, Status: statusFailed, Error: cause.Error(), WallMS: wall.Milliseconds(),
-	})
+	}
+	stampScope(&rec, sc)
+	return m.append(rec)
+}
+
+// stampScope annotates an experiment record with its telemetry scope.
+// Skipped when telemetry is off: the digest of an always-empty snapshot
+// carries no information, and the manifest should stay byte-stable for
+// sweeps run without -metrics.
+func stampScope(rec *manifestRecord, sc *obs.Scope) {
+	if sc == nil || !obs.Enabled() {
+		return
+	}
+	rec.ScopeID = sc.ID()
+	rec.MetricsSHA256 = sc.Digest()
 }
 
 // skipped re-records a verified prior result so the manifest's tail

@@ -118,6 +118,13 @@ func runRunners(ctx context.Context, cfg Config, outDir string, names []string, 
 	eta := newETATracker(selNames, priorWalls)
 	obs.SetSweepStatus(eta.status)
 	defer obs.SetSweepStatus(nil)
+	// The sweep gets its own telemetry scope and each experiment a child of
+	// it, so metric snapshots, probe events and log records are attributable
+	// per experiment while the process-wide registry still accumulates the
+	// totals (scoped emission always dual-writes the default registry).
+	sweepScope := obs.NewScope("sweep")
+	defer sweepScope.Close()
+	ctx = obs.WithScope(ctx, sweepScope)
 	type failure struct {
 		name string
 		err  error
@@ -128,7 +135,7 @@ func runRunners(ctx context.Context, cfg Config, outDir string, names []string, 
 		if man != nil && cfg.Resume {
 			if t, rec, ok := man.reusable(outDir, r.Name); ok {
 				fmt.Fprintf(log, "== skipping %s (artifact verified against manifest)\n", r.Name)
-				obs.Inc("experiments.resume.skipped")
+				obs.IncCtx(ctx, "experiments.resume.skipped")
 				eta.skip(r.Name)
 				if err := man.skipped(rec); err != nil {
 					return tables, err
@@ -141,7 +148,7 @@ func runRunners(ctx context.Context, cfg Config, outDir string, names []string, 
 			}
 			if _, seen := man.prior[r.Name]; seen {
 				fmt.Fprintf(log, "== re-running %s (prior run failed, config changed, or artifact does not verify)\n", r.Name)
-				obs.Inc("experiments.resume.reran")
+				obs.IncCtx(ctx, "experiments.resume.reran")
 			}
 		}
 		if err := ctx.Err(); err != nil {
@@ -151,7 +158,7 @@ func runRunners(ctx context.Context, cfg Config, outDir string, names []string, 
 			// whatever state the journal already holds, so a later -resume
 			// picks it up exactly where this sweep left off.
 			failures = append(failures, failure{r.Name, fmt.Errorf("not started: %w", err)})
-			obs.Inc("experiments.skipped")
+			obs.IncCtx(ctx, "experiments.skipped")
 			eta.skip(r.Name)
 			continue
 		}
@@ -159,28 +166,33 @@ func runRunners(ctx context.Context, cfg Config, outDir string, names []string, 
 		runStart := obs.Now()
 		eta.begin(r.Name)
 		stop := heartbeat(cfg.Progress, r.Name, runStart, eta)
-		ectx := ctx
+		// Per-experiment child scope: everything the runner (and the solvers
+		// under it) emits lands in this scope, its parent sweep scope, and
+		// the process totals alike.
+		escope := sweepScope.Child(r.Name)
+		ectx := obs.WithScope(ctx, escope)
 		cancel := context.CancelFunc(func() {})
 		if cfg.ExperimentTimeout > 0 {
-			ectx, cancel = context.WithTimeout(ctx, cfg.ExperimentTimeout)
+			ectx, cancel = context.WithTimeout(ectx, cfg.ExperimentTimeout)
 		}
 		t, err := r.Run(ectx, cfg)
 		cancel()
 		stop()
+		escope.Close()
 		elapsed := obs.Since(runStart)
 		eta.finish(r.Name, elapsed, err != nil)
 		//lint:ignore metric-name bounded family experiments.<runner>; runner names are the static Runners registry
-		obs.Observe("experiments."+r.Name, elapsed)
+		obs.ObserveCtx(ctx, "experiments."+r.Name, elapsed)
 		if cfg.Progress != nil {
 			fmt.Fprintf(cfg.Progress, "experiments: %s done in %v (%s)\n",
 				r.Name, elapsed.Round(time.Millisecond), eta.progressLine())
 		}
 		if err != nil {
 			failures = append(failures, failure{r.Name, err})
-			obs.Inc("experiments.failures")
+			obs.IncCtx(ctx, "experiments.failures")
 			fmt.Fprintf(log, "== %s FAILED after %v: %v\n\n", r.Name, elapsed.Round(time.Millisecond), err)
 			if man != nil {
-				if mErr := man.failed(r.Name, elapsed, err); mErr != nil {
+				if mErr := man.failed(r.Name, elapsed, err, escope); mErr != nil {
 					return tables, mErr
 				}
 			}
@@ -202,7 +214,7 @@ func runRunners(ctx context.Context, cfg Config, outDir string, names []string, 
 			if err != nil {
 				return tables, err
 			}
-			if mErr := man.completed(t, sha, elapsed); mErr != nil {
+			if mErr := man.completed(t, sha, elapsed, escope); mErr != nil {
 				return tables, mErr
 			}
 		}

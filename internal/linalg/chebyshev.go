@@ -145,12 +145,12 @@ func ChebFilteredSmallestContext(ctx context.Context, A Operator, c float64, h i
 		if !obs.Enabled() {
 			return
 		}
-		obs.Add("linalg.eigensolver.iterations", int64(sweeps))
-		obs.Add("linalg.cheb.sweeps", int64(sweeps))
-		obs.Add("linalg.cheb.block_growths", int64(growths))
-		obs.SetGauge("linalg.cheb.block", float64(b))
-		obs.SetGauge("linalg.cheb.degree", float64(degree))
-		obs.SetGauge("linalg.cheb.worst_residual", lastWorst) // NaN before the first sweep is dropped
+		obs.AddCtx(ctx, "linalg.eigensolver.iterations", int64(sweeps))
+		obs.AddCtx(ctx, "linalg.cheb.sweeps", int64(sweeps))
+		obs.AddCtx(ctx, "linalg.cheb.block_growths", int64(growths))
+		obs.SetGaugeCtx(ctx, "linalg.cheb.block", float64(b))
+		obs.SetGaugeCtx(ctx, "linalg.cheb.degree", float64(degree))
+		obs.SetGaugeCtx(ctx, "linalg.cheb.worst_residual", lastWorst) // NaN before the first sweep is dropped
 	}()
 
 	for iter := 0; iter < o.MaxIter; iter++ {
@@ -235,7 +235,7 @@ func ChebFilteredSmallestContext(ctx context.Context, A Operator, c float64, h i
 		}
 		lastWorst = worst
 		if obs.EventsEnabled() {
-			obs.Probe("linalg.cheb").Iter(int64(iter),
+			obs.Probe("linalg.cheb").IterCtx(ctx, int64(iter),
 				obs.FI("block", int64(b)),
 				obs.FI("degree", int64(degEff)),
 				obs.F("cut", aCut),
@@ -335,9 +335,9 @@ func ChebFilteredSmallestContext(ctx context.Context, A Operator, c float64, h i
 	// Partial convergence: pad the tail soundly (see above) and count the
 	// degradation so an operator can see that a run returned a padded —
 	// valid but weaker at large k — spectrum.
-	obs.Add("linalg.cheb.padded_tail", int64(h-p))
+	obs.AddCtx(ctx, "linalg.cheb.padded_tail", int64(h-p))
 	if h > p {
-		obs.Inc("linalg.cheb.padded_solves")
+		obs.IncCtx(ctx, "linalg.cheb.padded_solves")
 	}
 	out := make([]float64, h)
 	copy(out, theta[:p])

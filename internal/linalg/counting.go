@@ -17,7 +17,12 @@ import (
 // Lanczos single-vector products from the Chebyshev block products.
 type CountingOperator struct {
 	A Operator
-	n atomic.Int64
+	// Scope attributes the latency histogram to a telemetry scope; the
+	// operator cannot take a context (MatVec is the hot interface), so the
+	// wrapper resolves the scope once at construction. Nil routes to the
+	// default registry unchanged.
+	Scope *obs.Scope
+	n     atomic.Int64
 }
 
 // Dim implements Operator.
@@ -28,7 +33,7 @@ func (c *CountingOperator) MatVec(dst, src []float64) {
 	c.n.Add(1)
 	start := obs.Now()
 	c.A.MatVec(dst, src)
-	obs.ObserveHistDuration("linalg.matvec_ns", obs.Since(start))
+	c.Scope.ObserveHistDuration("linalg.matvec_ns", obs.Since(start))
 }
 
 // Count returns the number of MatVec applications so far.

@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -132,10 +133,16 @@ func symEig(a *Dense, wantV bool) (vals []float64, vecs *Dense, iters int, err e
 // ascending order. As the dense path's top-level eigensolve it reports the
 // QL sweep count to the observability layer.
 func SymEigValues(a *Dense) ([]float64, error) {
+	return SymEigValuesContext(context.Background(), a)
+}
+
+// SymEigValuesContext is SymEigValues with its solver counters attributed
+// to ctx's telemetry scope.
+func SymEigValuesContext(ctx context.Context, a *Dense) ([]float64, error) {
 	vals, _, iters, err := symEig(a, false)
 	if err == nil && obs.Enabled() {
-		obs.Add("linalg.eigensolver.iterations", int64(iters))
-		obs.Add("linalg.dense.ql_iters", int64(iters))
+		obs.AddCtx(ctx, "linalg.eigensolver.iterations", int64(iters))
+		obs.AddCtx(ctx, "linalg.dense.ql_iters", int64(iters))
 	}
 	return vals, err
 }

@@ -79,9 +79,9 @@ func PowerSmallestPSDContext(ctx context.Context, A Operator, c float64, h int, 
 		if !obs.Enabled() {
 			return
 		}
-		obs.Add("linalg.eigensolver.iterations", int64(totalIters))
-		obs.Add("linalg.power.iterations", int64(totalIters))
-		obs.SetGauge("linalg.power.locked", float64(len(locked)))
+		obs.AddCtx(ctx, "linalg.eigensolver.iterations", int64(totalIters))
+		obs.AddCtx(ctx, "linalg.power.iterations", int64(totalIters))
+		obs.SetGaugeCtx(ctx, "linalg.power.locked", float64(len(locked)))
 	}()
 	for len(locked) < h {
 		v := make([]float64, n)

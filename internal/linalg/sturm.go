@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -20,6 +21,12 @@ import (
 // eigenvalues below σ; bisection on that count isolates each eigenvalue to
 // machine precision.
 func TridiagEigBisect(diag, sub []float64, lo, hi int) ([]float64, error) {
+	return TridiagEigBisectContext(context.Background(), diag, sub, lo, hi)
+}
+
+// TridiagEigBisectContext is TridiagEigBisect with its per-eigenvalue
+// probe events attributed to ctx's telemetry scope.
+func TridiagEigBisectContext(ctx context.Context, diag, sub []float64, lo, hi int) ([]float64, error) {
 	n := len(diag)
 	if len(sub) != n-1 && !(n == 0 && len(sub) == 0) {
 		return nil, errors.New("linalg: TridiagEigBisect: len(sub) must be len(diag)-1")
@@ -38,6 +45,7 @@ func TridiagEigBisect(diag, sub []float64, lo, hi int) ([]float64, error) {
 
 	// Gershgorin interval enclosing the whole spectrum.
 	gLo, gHi := math.Inf(1), math.Inf(-1)
+	//lint:ignore ctx-loop O(n) interval scan; ctx exists for probe attribution, the bisection below checks nothing longer-running either
 	for i := 0; i < n; i++ {
 		r := 0.0
 		if i > 0 {
@@ -80,6 +88,7 @@ func TridiagEigBisect(diag, sub []float64, lo, hi int) ([]float64, error) {
 	sturmCount := func(sigma float64) int {
 		count := 0
 		d := 1.0 // sub2[0] == 0, so the i=0 step reduces to diag[0]−sigma
+		//lint:ignore ctx-loop O(n) Sturm count inside the bisection hot path; ctx exists for probe attribution only
 		for i := 0; i < n; i++ {
 			d = diag[i] - sigma - sub2[i]/d
 			if EqZero(d) {
@@ -114,7 +123,7 @@ func TridiagEigBisect(diag, sub []float64, lo, hi int) ([]float64, error) {
 			}
 		}
 		if obs.EventsEnabled() {
-			obs.Probe("linalg.bisect").Iter(int64(idx),
+			obs.Probe("linalg.bisect").IterCtx(ctx, int64(idx),
 				obs.F("width", b-a),
 				obs.FI("iters", int64(iters)),
 				obs.F("value", 0.5*a+0.5*b))

@@ -57,6 +57,7 @@ func DefaultRules() []Rule {
 		NewTimeNow(),
 		NewMetricName(),
 		NewErrCheck(),
+		NewScopedObs(),
 	}
 }
 

@@ -140,6 +140,11 @@ func TestRuleFixtures(t *testing.T) {
 		{"timenow", []Rule{NewTimeNow()}},
 		{"metricname", []Rule{&MetricName{ObsPath: "fix/obs", Pattern: MetricNamePattern}}},
 		{"errcheck", []Rule{NewErrCheck()}},
+		{"scopedobs", []Rule{&ScopedObs{
+			ObsPath:       "fix/obs",
+			Instrumented:  []string{"fix/scopedobs"},
+			DefaultExempt: []string{"fix/obs"},
+		}}},
 	}
 	for _, c := range cases {
 		t.Run(c.fixture, func(t *testing.T) {

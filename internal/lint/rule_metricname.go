@@ -39,17 +39,22 @@ func (*MetricName) Doc() string {
 	return "obs metric names are compile-time constants matching pkg.name_unit so obsreport can enumerate them"
 }
 
-// metricFuncs are the obs entry points whose first argument is a metric
-// name. Span and log names (StartSpan, Logf) are free-form and excluded.
-// Probe names share the namespace — obsreport convergence groups events by
-// probe — so obs.Probe is included; ProbeRef.Iter is not, its first
-// argument being an iteration number.
-var metricFuncs = map[string]bool{
-	"Add": true, "Inc": true, "Counter": true,
-	"SetGauge": true, "Gauge": true,
-	"Observe": true, "Time": true,
-	"ObserveHist": true, "ObserveHistDuration": true, "TimeHist": true, "Hist": true,
-	"Probe": true,
+// metricFuncs are the obs entry points that take a metric name, mapped to
+// the argument index the name sits at: 0 for the classic helpers and the
+// Registry/Scope methods, 1 for the context-scoped variants whose first
+// argument is the ctx. Span and log names (StartSpan, Logf) are free-form
+// and excluded. Probe names share the namespace — obsreport convergence
+// groups events by probe — so obs.Probe is included; ProbeRef.Iter and
+// IterCtx are not, their leading arguments being ctx/iteration numbers.
+var metricFuncs = map[string]int{
+	"Add": 0, "Inc": 0, "Counter": 0,
+	"SetGauge": 0, "Gauge": 0,
+	"Observe": 0, "Time": 0,
+	"ObserveHist": 0, "ObserveHistDuration": 0, "TimeHist": 0, "Hist": 0,
+	"Probe":  0,
+	"AddCtx": 1, "IncCtx": 1, "SetGaugeCtx": 1,
+	"ObserveCtx": 1, "TimeCtx": 1,
+	"ObserveHistCtx": 1, "ObserveHistDurationCtx": 1, "TimeHistCtx": 1,
 }
 
 // Check implements Rule.
@@ -66,11 +71,11 @@ func (r *MetricName) Check(p *Package, report Reporter) {
 			if !ok || len(call.Args) == 0 {
 				return true
 			}
-			name, ok := r.metricCall(p, call)
-			if !ok {
+			name, idx, ok := r.metricCall(p, call)
+			if !ok || idx >= len(call.Args) {
 				return true
 			}
-			tv, ok := p.Info.Types[call.Args[0]]
+			tv, ok := p.Info.Types[call.Args[idx]]
 			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
 				report(call.Pos(), "obs.%s metric name must be a compile-time string constant so cmd/obsreport can enumerate it", name)
 				return true
@@ -85,22 +90,33 @@ func (r *MetricName) Check(p *Package, report Reporter) {
 }
 
 // metricCall reports whether call targets an obs metric entry point —
-// either a package-level function of ObsPath or a method on its Registry —
-// and returns the function name.
-func (r *MetricName) metricCall(p *Package, call *ast.CallExpr) (string, bool) {
+// either a package-level function of ObsPath or a method on its Registry
+// or Scope — and returns the function name plus the metric-name argument
+// index.
+func (r *MetricName) metricCall(p *Package, call *ast.CallExpr) (string, int, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
-		return "", false
+		return "", 0, false
 	}
 	obj := p.Info.Uses[sel.Sel]
-	if obj == nil || !metricFuncs[obj.Name()] {
-		return "", false
+	if obj == nil {
+		return "", 0, false
+	}
+	idx, known := metricFuncs[obj.Name()]
+	if !known {
+		return "", 0, false
 	}
 	if obj.Pkg() != nil && obj.Pkg().Path() == r.ObsPath {
-		return obj.Name(), true
+		// Methods never take a ctx, so the name is always the receiver-side
+		// first argument even when the package-level helper of the same base
+		// name would look further in.
+		if _, isMethod := p.Info.Selections[sel]; isMethod {
+			idx = 0
+		}
+		return obj.Name(), idx, true
 	}
-	// Method on a Registry value obtained from obs (e.g. obs.Default().Inc):
-	// the selection's receiver type lives in ObsPath.
+	// Method on a Registry or Scope value obtained from obs (e.g.
+	// obs.Default().Inc): the selection's receiver type lives in ObsPath.
 	if s, ok := p.Info.Selections[sel]; ok {
 		t := s.Recv()
 		if ptr, ok := t.(*types.Pointer); ok {
@@ -109,9 +125,9 @@ func (r *MetricName) metricCall(p *Package, call *ast.CallExpr) (string, bool) {
 		if named, ok := t.(*types.Named); ok {
 			o := named.Obj()
 			if o != nil && o.Pkg() != nil && o.Pkg().Path() == r.ObsPath {
-				return obj.Name(), true
+				return obj.Name(), 0, true
 			}
 		}
 	}
-	return "", false
+	return "", 0, false
 }

@@ -3,11 +3,16 @@
 // package here is the fix/obs stand-in.
 package metricname
 
-import "fix/obs"
+import (
+	"context"
+
+	"fix/obs"
+)
 
 const prefix = "metricname."
 
 func Use(name string, reg *obs.Registry) {
+	UseCtx(context.Background(), name)
 	obs.Inc("metricname.good.total")
 	obs.Inc("core." + "folded") // constant expressions fold: clean
 	obs.Inc(prefix + "hits")    // named constants fold too: clean
@@ -28,4 +33,18 @@ func Use(name string, reg *obs.Registry) {
 	obs.Probe(name)        // want `obs.Probe metric name must be a compile-time string constant`
 
 	obs.StartSpan(name) // span names are free-form: clean
+}
+
+// UseCtx covers the context-scoped variants: the metric name moves to
+// argument index 1, after the ctx.
+func UseCtx(ctx context.Context, name string) {
+	obs.IncCtx(ctx, "metricname.good.total")
+	obs.AddCtx(ctx, "core."+"folded", 1) // constant expressions fold: clean
+	obs.ObserveCtx(ctx, prefix+"wall_ns", 1.0)
+
+	obs.IncCtx(ctx, "BadCtxName")             // want `metric name "BadCtxName" does not match the pkg.name_unit convention`
+	obs.AddCtx(ctx, name, 1)                  // want `obs.AddCtx metric name must be a compile-time string constant`
+	obs.ObserveCtx(ctx, name, 1.0)            // want `obs.ObserveCtx metric name must be a compile-time string constant`
+	obs.StartSpanCtx(ctx, name)               // span names are free-form: clean
+	obs.Probe("metricname.s").IterCtx(ctx, 7) // IterCtx's leading args are ctx and an iteration: clean
 }

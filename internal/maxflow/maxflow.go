@@ -4,6 +4,7 @@
 package maxflow
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -107,6 +108,13 @@ func (f *Network) dfs(v int32, t int32, pushed int64) int64 {
 // MaxFlow computes the maximum s-t flow. The network's residual capacities
 // are mutated; call MinCutSide afterwards to read the cut.
 func (f *Network) MaxFlow(s, t int) (int64, error) {
+	return f.MaxFlowContext(context.Background(), s, t)
+}
+
+// MaxFlowContext is MaxFlow with its per-phase probe events attributed to
+// ctx's telemetry scope. Dinic phases are too short to warrant
+// cancellation checks; the context exists purely for attribution.
+func (f *Network) MaxFlowContext(ctx context.Context, s, t int) (int64, error) {
 	if s < 0 || s >= f.n || t < 0 || t >= f.n {
 		return 0, errors.New("maxflow: source or sink out of range")
 	}
@@ -132,7 +140,7 @@ func (f *Network) MaxFlow(s, t int) (int64, error) {
 			}
 		}
 		if obs.EventsEnabled() {
-			obs.Probe("maxflow.dinic").Iter(phase,
+			obs.Probe("maxflow.dinic").IterCtx(ctx, phase,
 				obs.FI("paths", paths),
 				obs.FI("flow", total),
 				obs.FI("level_t", int64(f.level[t])))

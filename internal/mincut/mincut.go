@@ -80,6 +80,12 @@ type Result struct {
 // evaluation prefixes at the moment v fires. It returns 0 when v has no
 // descendants (the prefix can simply be the whole graph).
 func ConvexCut(g *graph.Graph, v int) (int64, error) {
+	return ConvexCutContext(context.Background(), g, v)
+}
+
+// ConvexCutContext is ConvexCut with the underlying max-flow's telemetry
+// attributed to ctx's scope.
+func ConvexCutContext(ctx context.Context, g *graph.Graph, v int) (int64, error) {
 	n := g.N()
 	if v < 0 || v >= n {
 		return 0, errors.New("mincut: vertex out of range")
@@ -98,11 +104,13 @@ func ConvexCut(g *graph.Graph, v int) (int64, error) {
 	// Split-node network: u_in = 2u, u_out = 2u+1, s = 2n, t = 2n+1.
 	net := maxflow.NewNetwork(2*n + 2)
 	s, t := 2*n, 2*n+1
+	//lint:ignore ctx-loop O(n+m) network construction; ctx exists for telemetry attribution, cancellation is handled by the sweep around each ConvexCut
 	for u := 0; u < n; u++ {
 		if err := net.AddEdge(2*u, 2*u+1, 1); err != nil {
 			return 0, err
 		}
 	}
+	//lint:ignore ctx-loop O(n+m) network construction; ctx exists for telemetry attribution, cancellation is handled by the sweep around each ConvexCut
 	for x := 0; x < n; x++ {
 		for _, yi := range g.Succ(x) {
 			y := int(yi)
@@ -118,6 +126,7 @@ func ConvexCut(g *graph.Graph, v int) (int64, error) {
 	if err := net.AddEdge(s, 2*v, maxflow.Inf); err != nil {
 		return 0, err
 	}
+	//lint:ignore ctx-loop O(n) sink wiring; ctx exists for telemetry attribution, cancellation is handled by the sweep around each ConvexCut
 	for u, isDesc := range desc {
 		if isDesc {
 			// Wire the *in* node to the sink: a descendant may neither be
@@ -128,7 +137,7 @@ func ConvexCut(g *graph.Graph, v int) (int64, error) {
 			}
 		}
 	}
-	return net.MaxFlow(s, t)
+	return net.MaxFlowContext(ctx, s, t)
 }
 
 // frontierUpperBound returns |W_S| for the minimal prefix S = Anc(v) ∪ {v},
@@ -169,7 +178,7 @@ func ConvexMinCutBoundContext(ctx context.Context, g *graph.Graph, opt Options) 
 		return nil, errors.New("mincut: Options.M must be ≥ 1")
 	}
 	start := obs.Now()
-	sp := obs.StartSpan("mincut.sweep")
+	sp := obs.StartSpanCtx(ctx, "mincut.sweep")
 	n := g.N()
 	res := &Result{BestVertex: -1}
 	if n == 0 {
@@ -265,8 +274,8 @@ func ConvexMinCutBoundContext(ctx context.Context, g *graph.Graph, opt Options) 
 					// nothing after this one can improve the maximum.
 					return
 				}
-				flowDone := obs.TimeHist("mincut.flow_ns")
-				cut, err := ConvexCut(g, c.v)
+				flowDone := obs.TimeHistCtx(ctx, "mincut.flow_ns")
+				cut, err := ConvexCutContext(ctx, g, c.v)
 				flowDone()
 				mu.Lock()
 				if err != nil && firstErr == nil {
@@ -282,7 +291,7 @@ func ConvexMinCutBoundContext(ctx context.Context, g *graph.Graph, opt Options) 
 				if obs.EventsEnabled() && err == nil {
 					// One event per evaluated flow, in candidate (UB) order;
 					// emitted concurrently by the worker pool.
-					obs.Probe("mincut.sweep").Iter(int64(i),
+					obs.Probe("mincut.sweep").IterCtx(ctx, int64(i),
 						obs.FI("vertex", int64(c.v)),
 						obs.FI("ub", c.ub),
 						obs.FI("cut", cut),
@@ -307,23 +316,23 @@ func ConvexMinCutBoundContext(ctx context.Context, g *graph.Graph, opt Options) 
 	}
 	res.Elapsed = obs.Since(start)
 	if obs.Enabled() {
-		obs.Add("mincut.flows", int64(res.Evaluated))
+		obs.AddCtx(ctx, "mincut.flows", int64(res.Evaluated))
 		// Everything the upper-bound ordering let the sweep skip: candidates
 		// whose cheap frontier bound could not beat the running maximum.
-		obs.Add("mincut.pruned", int64(limit-res.Evaluated))
+		obs.AddCtx(ctx, "mincut.pruned", int64(limit-res.Evaluated))
 		if res.TimedOut {
-			obs.Inc("mincut.timeouts")
+			obs.IncCtx(ctx, "mincut.timeouts")
 		}
 		if res.Interrupted {
-			obs.Inc("mincut.interrupts")
+			obs.IncCtx(ctx, "mincut.interrupts")
 		}
 	}
 	if res.TimedOut {
-		obs.Logf("mincut: timed out after %v with %d/%d flows evaluated (bound is valid but possibly weaker)",
+		obs.LogCtx(ctx, "mincut: timed out after %v with %d/%d flows evaluated (bound is valid but possibly weaker)",
 			res.Elapsed.Round(time.Millisecond), res.Evaluated, limit)
 	}
 	if res.Interrupted {
-		obs.Logf("mincut: interrupted after %v with %d/%d flows evaluated (bound is valid but possibly weaker)",
+		obs.LogCtx(ctx, "mincut: interrupted after %v with %d/%d flows evaluated (bound is valid but possibly weaker)",
 			res.Elapsed.Round(time.Millisecond), res.Evaluated, limit)
 	}
 	sp.SetInt("evaluated", int64(res.Evaluated))

@@ -17,6 +17,7 @@ import (
 // it so the flag names and semantics stay identical:
 //
 //	-v               phase/solver telemetry log to stderr
+//	-log-json        telemetry log as slog JSON lines instead of text
 //	-metrics-out F   JSON metrics dump written to F on exit
 //	-trace-out F     Chrome trace-event JSON of completed spans (Perfetto)
 //	-events-out F    per-iteration solver events, CRC-framed JSONL journal
@@ -34,6 +35,7 @@ import (
 // and exits 130.
 type CLI struct {
 	Verbose    bool
+	LogJSON    bool
 	MetricsOut string
 	TraceOut   string
 	EventsOut  string
@@ -58,6 +60,7 @@ type CLI struct {
 func AddFlags(fs *flag.FlagSet) *CLI {
 	c := &CLI{}
 	fs.BoolVar(&c.Verbose, "v", false, "log phase timings and solver telemetry to stderr")
+	fs.BoolVar(&c.LogJSON, "log-json", false, "emit the telemetry log as slog JSON lines (with scope correlation IDs) instead of text; implies -v")
 	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write collected metrics as JSON to this file on exit")
 	fs.StringVar(&c.TraceOut, "trace-out", "", "write completed spans as Chrome trace-event JSON to this file on exit (open in Perfetto)")
 	fs.StringVar(&c.EventsOut, "events-out", "", "write per-iteration solver events as a CRC-framed JSONL journal to this file on exit (render with obsreport convergence)")
@@ -79,10 +82,12 @@ func AddFlags(fs *flag.FlagSet) *CLI {
 // work.
 func (c *CLI) Begin() error {
 	c.start = time.Now()
-	if c.Verbose {
+	if c.LogJSON {
+		SetLogJSON(os.Stderr)
+	} else if c.Verbose {
 		SetVerbose(os.Stderr)
 	}
-	if c.Verbose || c.MetricsOut != "" || c.TraceOut != "" || c.EventsOut != "" || c.DebugAddr != "" {
+	if c.Verbose || c.LogJSON || c.MetricsOut != "" || c.TraceOut != "" || c.EventsOut != "" || c.DebugAddr != "" {
 		Enable(true)
 	}
 	if c.TraceOut != "" {

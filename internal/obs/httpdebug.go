@@ -38,6 +38,7 @@ func StartDebugServer(addr string) (stop func() error, boundAddr string, err err
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/metrics", handleMetrics)
 	mux.HandleFunc("/progress", handleProgress)
+	mux.HandleFunc("/tasks", handleTasks)
 	mux.HandleFunc("/", handleIndex)
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln) //lint:ignore errcheck Serve returns ErrServerClosed when StopDebugServer closes the listener, by design
@@ -62,6 +63,7 @@ func handleIndex(w http.ResponseWriter, r *http.Request) {
 	_, _ = io.WriteString(w, `<html><body><h1>graphio debug</h1><ul>
 <li><a href="/metrics">/metrics</a> — Prometheus text format</li>
 <li><a href="/progress">/progress</a> — open spans JSON</li>
+<li><a href="/tasks">/tasks</a> — live telemetry scopes JSON</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — runtime profiles</li>
 </ul></body></html>
 `)
@@ -105,6 +107,23 @@ func handleProgress(w http.ResponseWriter, _ *http.Request) {
 	}
 	if snap.OpenSpans == nil {
 		snap.OpenSpans = []OpenSpanInfo{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap) //lint:ignore errcheck best-effort debug endpoint; a failed write only truncates the client's JSON
+}
+
+// tasksSnapshot is the /tasks response body: every live scope with its
+// lineage, elapsed time, open spans, and top counters.
+type tasksSnapshot struct {
+	Tasks []TaskInfo `json:"tasks"`
+}
+
+func handleTasks(w http.ResponseWriter, _ *http.Request) {
+	snap := tasksSnapshot{Tasks: Tasks()}
+	if snap.Tasks == nil {
+		snap.Tasks = []TaskInfo{}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

@@ -247,12 +247,11 @@ func TestMetricsHistogramBucketsHTTPTest(t *testing.T) {
 // close spans — the race the open-span table exists to survive. Run with
 // -race this is the satellite's concurrency check.
 func TestProgressUnderSpanChurn(t *testing.T) {
-	Reset()
+	// No Reset() here: this test reads no counters, and a destructive global
+	// reset would race with any parallel test emitting into the default
+	// registry. The span churn below tolerates whatever state is live.
 	Enable(true)
-	defer func() {
-		Enable(false)
-		Reset()
-	}()
+	defer Enable(false)
 	SetSweepStatus(func() (SweepStatus, bool) {
 		return SweepStatus{Total: 10, Done: 3, Current: "fig7_fft", ETAKnown: true, ETANS: 42}, true
 	})

@@ -368,15 +368,35 @@ func Time(name string) func() {
 	return func() { defaultR.Observe(name, time.Since(start)) }
 }
 
-// WriteJSON emits the default registry as JSON.
-func WriteJSON(w io.Writer) error { return defaultR.WriteJSON(w) }
+// Dump is the full -metrics-out payload: the process-wide snapshot with
+// the per-scope sections inlined under "scopes". The Snapshot fields stay
+// at the top level (embedded), so consumers of the pre-scope format —
+// obsreport's auto-detection, older diff baselines — parse a Dump as a
+// plain Snapshot and simply ignore the sections.
+type Dump struct {
+	Snapshot
+	Scopes []ScopeSection `json:"scopes,omitempty"`
+}
+
+// WriteJSON emits the default registry plus the per-scope sections as
+// indented JSON.
+func WriteJSON(w io.Writer) error {
+	d := Dump{Snapshot: defaultR.Snapshot(), Scopes: ScopeSections()}
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
 
 // WriteText emits the default registry as text.
 func WriteText(w io.Writer) error { return defaultR.WriteText(w) }
 
-// DumpJSON writes the default registry's snapshot to path atomically: a
-// signal or crash arriving mid-flush leaves path absent or with its
-// previous content, never truncated.
+// DumpJSON writes the default registry's snapshot (with per-scope
+// sections) to path atomically: a signal or crash arriving mid-flush
+// leaves path absent or with its previous content, never truncated.
 func DumpJSON(path string) error {
-	return persist.WriteTo(path, defaultR.WriteJSON)
+	return persist.WriteTo(path, WriteJSON)
 }

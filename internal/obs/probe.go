@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"io"
 	"math"
 	"strconv"
@@ -64,15 +65,29 @@ func (p ProbeRef) Iter(iter int64, fields ...Field) {
 	if !probes.on.Load() {
 		return
 	}
-	recordProbeEvent(p.name, iter, fields)
+	recordProbeEvent(nil, p.name, iter, fields)
+}
+
+// IterCtx records one per-iteration event attributed to ctx's scope: the
+// buffered event carries the scope path and correlation ID, WriteEvents
+// renders them, and the scope chain's event counters tick. With no scope
+// on ctx it behaves exactly like Iter.
+func (p ProbeRef) IterCtx(ctx context.Context, iter int64, fields ...Field) {
+	if !probes.on.Load() {
+		return
+	}
+	recordProbeEvent(FromContext(ctx), p.name, iter, fields)
 }
 
 // ProbeEvent is one buffered event. TNS is nanoseconds since StartEvents.
+// Scope and ScopeID are empty on unattributed events.
 type ProbeEvent struct {
-	Probe  string
-	Iter   int64
-	TNS    int64
-	Fields []Field
+	Probe   string
+	Iter    int64
+	TNS     int64
+	Scope   string
+	ScopeID string
+	Fields  []Field
 }
 
 var probes struct {
@@ -118,7 +133,7 @@ func EventStats() (buffered int, dropped int64) {
 	return len(probes.events), probes.dropped
 }
 
-func recordProbeEvent(name string, iter int64, fields []Field) {
+func recordProbeEvent(sc *Scope, name string, iter int64, fields []Field) {
 	now := Now()
 	kept := make([]Field, 0, len(fields))
 	for _, f := range fields {
@@ -126,6 +141,14 @@ func recordProbeEvent(name string, iter int64, fields []Field) {
 			continue
 		}
 		kept = append(kept, f)
+	}
+	ev := ProbeEvent{Probe: name, Iter: iter, Fields: kept}
+	if sc != nil {
+		ev.Scope = sc.path
+		ev.ScopeID = sc.id
+		for c := sc; c != nil; c = c.parent {
+			c.events.Add(1)
+		}
 	}
 	probes.mu.Lock()
 	if len(probes.events) >= maxProbeEvents {
@@ -140,12 +163,8 @@ func recordProbeEvent(name string, iter int64, fields []Field) {
 		probes.start = now
 		start = now
 	}
-	probes.events = append(probes.events, ProbeEvent{
-		Probe:  name,
-		Iter:   iter,
-		TNS:    now.Sub(start).Nanoseconds(),
-		Fields: kept,
-	})
+	ev.TNS = now.Sub(start).Nanoseconds()
+	probes.events = append(probes.events, ev)
 	probes.mu.Unlock()
 }
 
@@ -171,6 +190,15 @@ func WriteEvents(w io.Writer) error {
 		b.WriteString(strconv.FormatInt(e.Iter, 10))
 		b.WriteString(`,"t_ns":`)
 		b.WriteString(strconv.FormatInt(e.TNS, 10))
+		if e.Scope != "" {
+			// Attributed events carry their scope; unattributed ones render
+			// byte-identically to the pre-scope format, so old goldens and
+			// `obsreport convergence` keep working unchanged.
+			b.WriteString(`,"scope":`)
+			b.WriteString(quoteJSON(e.Scope))
+			b.WriteString(`,"scope_id":`)
+			b.WriteString(quoteJSON(e.ScopeID))
+		}
 		b.WriteString(`,"f":{`)
 		for j, f := range e.Fields {
 			if j > 0 {

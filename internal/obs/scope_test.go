@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentScopesDisjointAttribution is the tentpole's concurrency
+// contract, run under -race by the tier-1 gate: experiments running in
+// parallel goroutines, each under its own scope, must produce disjoint,
+// correctly attributed metric and probe snapshots while the default
+// registry accumulates the process totals.
+func TestConcurrentScopesDisjointAttribution(t *testing.T) {
+	Reset()
+	ResetScopes()
+	ResetEvents()
+	Enable(true)
+	StartEvents()
+	t.Cleanup(func() {
+		StopEvents()
+		Enable(false)
+		ResetScopes()
+		Reset()
+	})
+
+	root := NewScope("sweep")
+	defer root.Close()
+	const perScope = 500
+	names := []string{"alpha", "beta"}
+	scopes := make([]*Scope, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		sc := root.Child(name)
+		scopes[i] = sc
+		ctx := WithScope(context.Background(), sc)
+		wg.Add(1)
+		go func(name string, ctx context.Context) {
+			defer wg.Done()
+			for j := 0; j < perScope; j++ {
+				IncCtx(ctx, "scopetest."+name+".total")
+				IncCtx(ctx, "scopetest.shared.total")
+				AddCtx(ctx, "scopetest.bytes", 2)
+				ObserveHistCtx(ctx, "scopetest.size", int64(j))
+				sp := StartSpanCtx(ctx, "scopetest.phase")
+				sp.End()
+				if j%100 == 0 {
+					Probe("scopetest.sweep").IterCtx(ctx, int64(j), FI("k", int64(j)))
+				}
+			}
+		}(name, ctx)
+	}
+	wg.Wait()
+
+	for i, name := range names {
+		sc := scopes[i]
+		other := names[1-i]
+		if n := sc.Counter("scopetest." + name + ".total"); n != perScope {
+			t.Errorf("scope %s: own counter = %d, want %d", name, n, perScope)
+		}
+		if n := sc.Counter("scopetest." + other + ".total"); n != 0 {
+			t.Errorf("scope %s: sees %d increments of %s's counter, want 0 (attribution leak)", name, n, other)
+		}
+		if n := sc.Counter("scopetest.shared.total"); n != perScope {
+			t.Errorf("scope %s: shared counter = %d, want %d", name, n, perScope)
+		}
+		snap := sc.Registry().Snapshot()
+		if h, ok := snap.Hists["scopetest.size"]; !ok || h.Count != perScope {
+			t.Errorf("scope %s: hist count = %+v, want %d observations", name, h, perScope)
+		}
+		if sp := sc.openSpans.Load(); sp != 0 {
+			t.Errorf("scope %s: %d spans still open after all ended", name, sp)
+		}
+		if ev := sc.events.Load(); ev != perScope/100 {
+			t.Errorf("scope %s: events = %d, want %d", name, ev, perScope/100)
+		}
+	}
+	// The per-scope counters roll up into the parent and the process totals.
+	if n := root.Counter("scopetest.shared.total"); n != 2*perScope {
+		t.Errorf("root scope shared counter = %d, want %d", n, 2*perScope)
+	}
+	sum := scopes[0].Counter("scopetest.shared.total") + scopes[1].Counter("scopetest.shared.total")
+	if total := Default().Counter("scopetest.shared.total"); total != sum {
+		t.Errorf("default registry shared = %d, want the per-scope sum %d", total, sum)
+	}
+	if total := Default().Counter("scopetest.bytes"); total != 2*perScope*2 {
+		t.Errorf("default registry bytes = %d, want %d", total, 2*perScope*2)
+	}
+
+	// Probe events carry their emitting scope's identity.
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for i, name := range names {
+		tag := `"scope":"sweep/` + name + `"`
+		if got := strings.Count(out, tag); got != perScope/100 {
+			t.Errorf("events tagged %s = %d, want %d", tag, got, perScope/100)
+		}
+		if !strings.Contains(out, `"scope_id":"`+scopes[i].ID()+`"`) {
+			t.Errorf("no event carries scope %s's correlation ID %s", name, scopes[i].ID())
+		}
+	}
+}
+
+// TestTasksEndpointGolden pins the /tasks response byte-for-byte: live
+// scopes sorted by correlation ID, lineage, elapsed wall time under the
+// injected clock, open spans, and the top counters.
+func TestTasksEndpointGolden(t *testing.T) {
+	Reset()
+	ResetScopes()
+	Enable(true)
+	t0 := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	SetClock(func() time.Time { return t0 })
+	t.Cleanup(func() {
+		SetClock(nil)
+		Enable(false)
+		ResetScopes()
+		Reset()
+	})
+
+	sweep := NewScope("sweep")
+	defer sweep.Close()
+	fig7 := sweep.Child("fig7")
+	defer fig7.Close()
+	ctx := WithScope(context.Background(), fig7)
+	IncCtx(ctx, "demo.total")
+	IncCtx(ctx, "demo.total")
+	IncCtx(ctx, "demo.total")
+	IncCtx(ctx, "demo.extra.total")
+	sp := StartSpanCtx(ctx, "demo.phase")
+	defer sp.End()
+
+	rec := httptest.NewRecorder()
+	handleTasks(rec, httptest.NewRequest("GET", "/tasks", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	const want = `{
+  "tasks": [
+    {
+      "id": "s000001",
+      "name": "sweep",
+      "path": "sweep",
+      "elapsed_ns": 0,
+      "open_spans": 0,
+      "events": 0,
+      "top_counters": [
+        {
+          "name": "demo.total",
+          "value": 3
+        },
+        {
+          "name": "demo.extra.total",
+          "value": 1
+        }
+      ]
+    },
+    {
+      "id": "s000002",
+      "name": "fig7",
+      "path": "sweep/fig7",
+      "parent_id": "s000001",
+      "elapsed_ns": 0,
+      "open_spans": 1,
+      "events": 0,
+      "top_counters": [
+        {
+          "name": "demo.total",
+          "value": 3
+        },
+        {
+          "name": "demo.extra.total",
+          "value": 1
+        }
+      ]
+    }
+  ]
+}
+`
+	if got := rec.Body.String(); got != want {
+		t.Errorf("/tasks response mismatch\n got: %s\nwant: %s", got, want)
+	}
+
+	// Closing a scope removes it from /tasks.
+	fig7.Close()
+	rec = httptest.NewRecorder()
+	handleTasks(rec, httptest.NewRequest("GET", "/tasks", nil))
+	body := rec.Body.String()
+	if strings.Contains(body, `"s000002"`) {
+		t.Errorf("/tasks still lists the closed scope: %s", body)
+	}
+	if !strings.Contains(body, `"s000001"`) {
+		t.Errorf("/tasks dropped the still-live sweep scope: %s", body)
+	}
+}
+
+// TestScopeSectionsInDump checks that WriteJSON's scopes array carries
+// closed scopes (retained) and live ones alike, and that an old-style
+// consumer unmarshalling only the top-level Snapshot still parses it.
+func TestScopeSectionsInDump(t *testing.T) {
+	Reset()
+	ResetScopes()
+	Enable(true)
+	t.Cleanup(func() {
+		Enable(false)
+		ResetScopes()
+		Reset()
+	})
+	sc := NewScope("sweep")
+	ctx := WithScope(context.Background(), sc.Child("fig7"))
+	IncCtx(ctx, "demo.total")
+	FromContext(ctx).Close()
+
+	secs := ScopeSections()
+	if len(secs) != 2 {
+		t.Fatalf("ScopeSections() = %d sections, want closed fig7 + live sweep", len(secs))
+	}
+	if secs[0].Path != "sweep" || secs[1].Path != "sweep/fig7" {
+		t.Errorf("section paths = %q, %q", secs[0].Path, secs[1].Path)
+	}
+	if secs[1].ParentID != secs[0].ID {
+		t.Errorf("child ParentID = %q, want %q", secs[1].ParentID, secs[0].ID)
+	}
+	if secs[1].Metrics.Counters["demo.total"] != 1 {
+		t.Errorf("closed child section counters = %v", secs[1].Metrics.Counters)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"scopes"`) {
+		t.Error("WriteJSON dump has no scopes array")
+	}
+	sc.Close()
+}

@@ -1,57 +1,23 @@
 package obs
 
 import (
+	"context"
 	"fmt"
-	"io"
+	"log/slog"
 	"strconv"
-	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 )
 
-// The verbose sink receives one line per ended span and per Logf event.
-// It is independent of the metrics registry: -v enables both, but a caller
-// may enable either alone.
-var (
-	verboseOn atomic.Bool
-	verboseMu sync.Mutex
-	verboseW  io.Writer
-)
-
-// SetVerbose directs span/event lines to w; nil silences them.
-func SetVerbose(w io.Writer) {
-	verboseMu.Lock()
-	verboseW = w
-	verboseMu.Unlock()
-	verboseOn.Store(w != nil)
-}
-
-// Verbose reports whether a verbose sink is installed.
-func Verbose() bool { return verboseOn.Load() }
-
-// Logf writes one event line to the verbose sink, if any.
-func Logf(format string, args ...interface{}) {
-	if !verboseOn.Load() {
-		return
-	}
-	verboseMu.Lock()
-	defer verboseMu.Unlock()
-	if verboseW == nil {
-		return
-	}
-	fmt.Fprintf(verboseW, "[obs] "+format+"\n", args...)
-}
-
 // Span is one timed phase. Spans nest by name (Child joins with "/"); a
 // nil *Span is valid and inert, which is what StartSpan returns when the
-// registry, the verbose sink and the trace collector are all off — call
+// registry, the log sink and the trace collector are all off — call
 // sites need no guards.
 type Span struct {
 	name     string
 	start    time.Time
 	keys     []string
 	vals     []string
+	scope    *Scope // nil when the span is unattributed
 	traceID  uint64 // 0 when the trace collector is off
 	parentID uint64
 	gid      int64
@@ -59,9 +25,9 @@ type Span struct {
 
 // StartSpan opens a span. On End the span's wall time lands in the timer
 // "span.<name>", the trace collector buffers it when tracing is on, and,
-// when a verbose sink is set, one line is logged with the recorded fields.
+// when a log sink is set, one record is emitted with the recorded fields.
 func StartSpan(name string) *Span {
-	if !enabled.Load() && !verboseOn.Load() && !trackingSpans() {
+	if !enabled.Load() && !logOn.Load() && !trackingSpans() {
 		return nil
 	}
 	s := &Span{name: name, start: time.Now()}
@@ -72,12 +38,32 @@ func StartSpan(name string) *Span {
 	return s
 }
 
-// Child opens a nested span named "<parent>/<name>".
+// StartSpanCtx opens a span attributed to ctx's scope: on End the wall
+// time also lands in the scope chain's registries, the scope's open-span
+// gauge tracks it, and the log record carries the correlation ID. With no
+// scope on ctx it behaves exactly like StartSpan.
+func StartSpanCtx(ctx context.Context, name string) *Span {
+	s := StartSpan(name)
+	if s == nil {
+		return nil
+	}
+	if sc := FromContext(ctx); sc != nil {
+		s.scope = sc
+		sc.openSpans.Add(1)
+	}
+	return s
+}
+
+// Child opens a nested span named "<parent>/<name>", inheriting the
+// parent's scope attribution.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return StartSpan(name)
 	}
-	c := &Span{name: s.name + "/" + name, start: time.Now(), parentID: s.traceID}
+	c := &Span{name: s.name + "/" + name, start: time.Now(), scope: s.scope, parentID: s.traceID}
+	if c.scope != nil {
+		c.scope.openSpans.Add(1)
+	}
 	if trackingSpans() {
 		c.gid = goid()
 		c.traceID = beginTraceSpan(c.name, c.start, c.gid)
@@ -120,8 +106,9 @@ func (s *Span) Elapsed() time.Duration {
 	return time.Since(s.start)
 }
 
-// End closes the span, records its duration, emits the verbose line, and
-// returns the duration.
+// End closes the span, records its duration (into the scope chain when
+// attributed, and always into the default registry), emits the log
+// record, and returns the duration.
 func (s *Span) End() time.Duration {
 	if s == nil {
 		return 0
@@ -131,19 +118,24 @@ func (s *Span) End() time.Duration {
 	if s.traceID != 0 {
 		endTraceSpan(s, end)
 	}
+	if s.scope != nil {
+		s.scope.openSpans.Add(-1)
+	}
 	if enabled.Load() {
+		for c := s.scope; c != nil; c = c.parent {
+			c.reg.Observe("span."+s.name, d)
+		}
 		defaultR.Observe("span."+s.name, d)
 	}
-	if verboseOn.Load() {
-		var b strings.Builder
-		fmt.Fprintf(&b, "%-36s %12v", s.name, d.Round(time.Microsecond))
+	if logOn.Load() {
+		attrs := make([]slog.Attr, 0, len(s.keys)+2)
 		for i, k := range s.keys {
-			b.WriteString(" ")
-			b.WriteString(k)
-			b.WriteString("=")
-			b.WriteString(s.vals[i])
+			attrs = append(attrs, slog.String(k, s.vals[i]))
 		}
-		Logf("%s", b.String())
+		if s.scope != nil {
+			attrs = append(attrs, slog.String("scope", s.scope.path), slog.String("scope_id", s.scope.id))
+		}
+		logRecord(fmt.Sprintf("%-36s %12v", s.name, d.Round(time.Microsecond)), attrs)
 	}
 	return d
 }

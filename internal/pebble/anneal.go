@@ -57,7 +57,7 @@ func AnnealContext(ctx context.Context, g *graph.Graph, start []int, M int, opt 
 
 	cur := make([]int, len(start))
 	copy(cur, start)
-	curRes, err := Simulate(g, cur, M, opt.Policy)
+	curRes, err := SimulateContext(ctx, g, cur, M, opt.Policy)
 	if err != nil {
 		return nil, Result{}, err
 	}
@@ -91,7 +91,7 @@ func AnnealContext(ctx context.Context, g *graph.Graph, start []int, M int, opt 
 		}
 		proposed++
 		cur[i], cur[i+1] = cur[i+1], cur[i]
-		res, err := Simulate(g, cur, M, opt.Policy)
+		res, err := SimulateContext(ctx, g, cur, M, opt.Policy)
 		if err != nil {
 			return nil, Result{}, err
 		}
@@ -109,8 +109,8 @@ func AnnealContext(ctx context.Context, g *graph.Graph, start []int, M int, opt 
 		temp *= decay
 	}
 	if obs.Enabled() {
-		obs.Add("pebble.anneal.proposed", int64(proposed))
-		obs.Add("pebble.anneal.accepted", int64(accepted))
+		obs.AddCtx(ctx, "pebble.anneal.proposed", int64(proposed))
+		obs.AddCtx(ctx, "pebble.anneal.accepted", int64(accepted))
 	}
 	return best, bestRes, nil
 }

@@ -125,7 +125,7 @@ func SimulateContext(ctx context.Context, g *graph.Graph, order []int, M int, po
 		s.slot[i] = -1
 	}
 
-	simDone := obs.TimeHist("pebble.simulate_ns")
+	simDone := obs.TimeHistCtx(ctx, "pebble.simulate_ns")
 	for i, v := range order {
 		if i%4096 == 0 {
 			if err := ctx.Err(); err != nil {
@@ -135,7 +135,7 @@ func SimulateContext(ctx context.Context, g *graph.Graph, order []int, M int, po
 			if obs.EventsEnabled() {
 				// Sampled at the existing cancellation boundary so the
 				// per-step hot path stays event-free between checkpoints.
-				obs.Probe("pebble.simulate").Iter(int64(i),
+				obs.Probe("pebble.simulate").IterCtx(ctx, int64(i),
 					obs.FI("reads", int64(s.res.Reads)),
 					obs.FI("writes", int64(s.res.Writes)))
 			}
@@ -147,12 +147,12 @@ func SimulateContext(ctx context.Context, g *graph.Graph, order []int, M int, po
 	}
 	simDone()
 	if obs.Enabled() {
-		obs.Inc("pebble.simulations")
-		obs.Add("pebble.reads", int64(s.res.Reads))
-		obs.Add("pebble.writes", int64(s.res.Writes))
+		obs.IncCtx(ctx, "pebble.simulations")
+		obs.AddCtx(ctx, "pebble.reads", int64(s.res.Reads))
+		obs.AddCtx(ctx, "pebble.writes", int64(s.res.Writes))
 		// Per-simulation I/O distribution: the order search's spread between
 		// lucky and unlucky topological orders at this (graph, M).
-		obs.ObserveHist("pebble.io_per_sim", int64(s.res.Reads+s.res.Writes))
+		obs.ObserveHistCtx(ctx, "pebble.io_per_sim", int64(s.res.Reads+s.res.Writes))
 	}
 	return s.res, nil
 }
@@ -307,7 +307,7 @@ func BestOrder(g *graph.Graph, M int, policy Policy, samples int, seed int64) (R
 // BestOrderContext is BestOrder with cancellation, checked between
 // candidate simulations and threaded into each one.
 func BestOrderContext(ctx context.Context, g *graph.Graph, M int, policy Policy, samples int, seed int64) (Result, []int, string, error) {
-	sp := obs.StartSpan("pebble.best_order")
+	sp := obs.StartSpanCtx(ctx, "pebble.best_order")
 	sp.SetInt("n", int64(g.N()))
 	sp.SetInt("M", int64(M))
 	sp.SetStr("policy", policy.String())
@@ -350,7 +350,7 @@ func BestOrderContext(ctx context.Context, g *graph.Graph, M int, policy Policy,
 			best, bestOrder, bestName = res, c.order, c.name
 		}
 		if obs.EventsEnabled() {
-			obs.Probe("pebble.best_order").Iter(int64(ci),
+			obs.Probe("pebble.best_order").IterCtx(ctx, int64(ci),
 				obs.FI("reads", int64(res.Reads)),
 				obs.FI("writes", int64(res.Writes)),
 				obs.FI("io", int64(res.Total())),

@@ -157,16 +157,16 @@ func OptimalContext(ctx context.Context, g *graph.Graph, M int, opt Options) (*R
 
 	// State-space telemetry for the exact search, reported however the
 	// search ends (optimum found, state cap exceeded, or exhausted).
-	sp := obs.StartSpan("redblue.search")
+	sp := obs.StartSpanCtx(ctx, "redblue.search")
 	sp.SetInt("n", int64(n))
 	sp.SetInt("M", int64(M))
 	defer func() {
 		if obs.Enabled() {
-			obs.Add("redblue.states", int64(len(dist)))
-			obs.Inc("redblue.searches")
+			obs.AddCtx(ctx, "redblue.states", int64(len(dist)))
+			obs.IncCtx(ctx, "redblue.searches")
 			// Distribution of state-space sizes across searches: the exact
 			// solver's expansion rate per (graph, M) instance.
-			obs.ObserveHist("redblue.states_per_search", int64(len(dist)))
+			obs.ObserveHistCtx(ctx, "redblue.states_per_search", int64(len(dist)))
 		}
 		sp.SetInt("states", int64(len(dist)))
 		sp.End()

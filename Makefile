@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (no deps).
 
-.PHONY: build test test-race vet vet-strict lint bench bench-json bench-check bench-history cover experiments experiments-quick verify-resume examples fmt
+.PHONY: build test test-race vet vet-strict lint bench bench-json bench-check bench-history cover experiments experiments-quick verify-resume verify-dist examples fmt
 
 build:
 	go build ./...
@@ -66,6 +66,13 @@ experiments-quick:
 # resume, require byte-identical artifacts versus an uninterrupted run.
 verify-resume:
 	sh scripts/verify_resume.sh
+
+# Distributed chaos gate: coordinator + three workers (one SIGKILLed
+# mid-shard, one stalled past lease expiry), coordinator SIGKILLed and
+# restarted with -resume; the merged artifacts must be byte-identical to
+# a single-process sweep and the manifest must still resume cleanly.
+verify-dist:
+	sh scripts/verify_dist.sh
 
 examples:
 	go run ./examples/quickstart

@@ -12,6 +12,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -20,10 +22,15 @@ import (
 	"strings"
 	"time"
 
+	"graphio/internal/dist"
 	"graphio/internal/experiments"
 	"graphio/internal/obs"
 	"graphio/internal/plot"
 )
+
+// The coordinator feeds worker uploads straight into the sweep's merge
+// layer; this pins the two packages' contracts together at compile time.
+var _ dist.Sink = (*experiments.Merge)(nil)
 
 func main() {
 	exp := flag.String("exp", "", "comma-separated experiment names (empty = all): fig7,fig8,fig9,fig10,fig11,hypercube,fft,er,sandwich,bestk,thm4vs5")
@@ -39,6 +46,13 @@ func main() {
 	maxK := flag.Int("maxk", 0, "override h, the number of eigenvalues computed")
 	doPlot := flag.Bool("plot", false, "render figure tables as ASCII charts after running")
 	plotDir := flag.String("plot-dir", "", "render saved CSVs from this directory and exit (no recomputation)")
+	coordinator := flag.String("coordinator", "", "run as sweep coordinator: shard the selected experiments and serve the claim API on this address (requires -out; ':0' picks a port)")
+	workerURL := flag.String("worker", "", "run as sweep worker: claim shards from the coordinator at this base URL and run them")
+	workerID := flag.String("worker-id", "", "worker identity in leases and manifests (default <host>-<pid>)")
+	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "coordinator: how long a claimed shard stays owned without a renewal")
+	shardAttempts := flag.Int("shard-attempts", 3, "coordinator: grants per shard before it is poisoned")
+	chaosStall := flag.Bool("chaos-stall", false, "worker chaos mode: claim one shard, then stall without renewing until killed (lease-expiry testing)")
+	lockWait := flag.Duration("lock-wait", 0, "wait up to this long for -out's sweep lock instead of failing immediately (restart overlap)")
 	ofl := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if err := ofl.Begin(); err != nil {
@@ -92,6 +106,7 @@ func main() {
 	cfg.ExperimentTimeout = *expTimeout
 	cfg.Progress = os.Stderr
 	cfg.Resume = *resume
+	cfg.LockWait = *lockWait
 	if *resume && *out == "" {
 		fmt.Fprintln(os.Stderr, "experiments: -resume needs -out (the manifest lives in the output directory)")
 		os.Exit(2)
@@ -118,6 +133,42 @@ func main() {
 			}
 		}
 	}
+	// Distributed modes: -coordinator shards the sweep and merges worker
+	// uploads; -worker claims shards and runs them through the same RunAll
+	// path a local sweep uses. Both honour the obs context (SIGINT, -timeout).
+	if *coordinator != "" || *workerURL != "" {
+		if *coordinator != "" && *workerURL != "" {
+			fmt.Fprintln(os.Stderr, "experiments: -coordinator and -worker are mutually exclusive")
+			os.Exit(2)
+		}
+		var poisoned []string
+		var err error
+		if *coordinator != "" {
+			if *out == "" {
+				fmt.Fprintln(os.Stderr, "experiments: -coordinator needs -out (the merged sweep lands there)")
+				os.Exit(2)
+			}
+			poisoned, err = runCoordinator(ofl.Context(), cfg, *out, names, *coordinator, *leaseTTL, *shardAttempts)
+		} else {
+			err = runWorker(ofl.Context(), cfg, *workerURL, *workerID, *chaosStall)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		}
+		finish()
+		switch {
+		case ofl.Interrupted():
+			os.Exit(130)
+		case err != nil:
+			os.Exit(1)
+		case len(poisoned) > 0:
+			// A degraded sweep produced a partial report that names its
+			// poisoned shards; the exit code makes the degradation unmissable.
+			os.Exit(1)
+		}
+		return
+	}
+
 	// The sweep runs under the obs context: SIGINT/SIGTERM and the -timeout
 	// budget cancel it, RunAll stops at the next boundary with every
 	// completed CSV on disk, and Finish still flushes telemetry below.
@@ -141,6 +192,97 @@ func main() {
 	if ofl.Interrupted() {
 		os.Exit(130)
 	}
+}
+
+// shardNames resolves the -exp selection to shard names in canonical
+// Runners() order — the order the merged report must render in.
+func shardNames(names []string) []string {
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []string
+	for _, r := range experiments.Runners() {
+		if len(want) == 0 || want[r.Name] {
+			out = append(out, r.Name)
+		}
+	}
+	return out
+}
+
+// runCoordinator shards the selected experiments, serves the claim API,
+// and merges worker uploads into outDir. It returns the shards the sweep
+// had to poison (a non-empty list exits non-zero in main).
+func runCoordinator(ctx context.Context, cfg experiments.Config, outDir string, names []string, addr string, ttl time.Duration, attempts int) ([]string, error) {
+	shards := shardNames(names)
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("no experiment matches %v", names)
+	}
+	merge, err := experiments.OpenMerge(ctx, outDir, cfg, cfg.Resume)
+	if err != nil {
+		return nil, err
+	}
+	defer merge.Close()
+	c, err := dist.New(dist.Config{
+		Shards: shards, ConfigHash: merge.ConfigHash(), Sink: merge,
+		OutDir: outDir, Resume: cfg.Resume,
+		LeaseTTL: ttl, MaxAttempts: attempts, Log: os.Stderr,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	bound, err := c.Start(addr)
+	if err != nil {
+		return nil, err
+	}
+	// Scripts parse this line for the bound address (':0' picks a port).
+	fmt.Printf("coordinator listening on %s\n", bound)
+	if err := c.Wait(ctx); err != nil {
+		return nil, fmt.Errorf("sweep interrupted: %w", err)
+	}
+	included, err := merge.FinishReport(shards)
+	if err != nil {
+		return nil, err
+	}
+	poisoned := c.Poisoned()
+	fmt.Printf("sweep complete: %d/%d shard(s) merged into %s\n", len(included), len(shards), outDir)
+	for _, name := range poisoned {
+		fmt.Printf("POISONED %s\n", name)
+	}
+	return poisoned, nil
+}
+
+// runWorker claims shards from the coordinator and runs each through the
+// ordinary RunAll path (no local outDir — results upload instead), so a
+// distributed shard behaves exactly like a local experiment: same config,
+// same per-experiment timeout, same telemetry.
+func runWorker(ctx context.Context, cfg experiments.Config, url, id string, stall bool) error {
+	if id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	run := func(rctx context.Context, shard string) (string, []byte, error) {
+		tables, err := experiments.RunAll(rctx, cfg, "", []string{shard}, os.Stderr)
+		if err != nil {
+			return "", nil, err
+		}
+		if len(tables) != 1 {
+			return "", nil, fmt.Errorf("shard %s produced %d tables, want 1", shard, len(tables))
+		}
+		var buf bytes.Buffer
+		if err := tables[0].WriteCSV(&buf); err != nil {
+			return "", nil, err
+		}
+		return tables[0].Title, buf.Bytes(), nil
+	}
+	return dist.RunWorker(ctx, dist.WorkerConfig{
+		ID: id, Coordinator: url, ConfigHash: cfg.Hash(),
+		Run: run, StallAfterClaim: stall, Log: os.Stderr,
+	})
 }
 
 // plotSaved renders every known figure CSV found in dir, in figure order.

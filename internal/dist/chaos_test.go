@@ -1,0 +1,462 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphio/internal/experiments"
+	"graphio/internal/faultinject"
+	"graphio/internal/obs"
+)
+
+// Chaos: the whole machine under fire, with the real experiments.Merge as
+// the sink. Workers are SIGKILLed mid-shard (simulated by cancelling their
+// context so they vanish without reporting), stall past lease expiry
+// without renewing, and lose upload ACKs to an injected flaky network —
+// and the surviving fleet must still converge to an output directory
+// byte-identical to an undisturbed run. scripts/verify_dist.sh repeats
+// this at the process level with real SIGKILLs and a coordinator restart.
+
+// openMergeSink opens an experiments.Merge over dir.
+func openMergeSink(t *testing.T, dir string, resume bool) *experiments.Merge {
+	t.Helper()
+	m, err := experiments.OpenMerge(context.Background(), dir, experiments.Config{}, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+// chaosShards is the shard set all chaos tests sweep.
+var chaosShards = []string{"s00", "s01", "s02", "s03", "s04", "s05"}
+
+// referenceDir runs the sweep's commits undisturbed into a fresh Merge and
+// returns its directory — the golden everything chaotic must match.
+func referenceDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	m := openMergeSink(t, dir, false)
+	for _, name := range chaosShards {
+		title, csv, err := stubRun(0)(context.Background(), name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.CommitResult(name, title, csv, 1, "ref"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.FinishReport(chaosShards); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestChaosConvergesToSingleProcessReport is the headline guarantee: one
+// worker SIGKILLed mid-shard, one stalled past lease expiry, one with a
+// flaky network dropping upload ACKs — and the final report.txt is
+// byte-identical to an undisturbed single-process sweep.
+func TestChaosConvergesToSingleProcessReport(t *testing.T) {
+	obs.Enable(true)
+	defer obs.Enable(false)
+	outDir := t.TempDir()
+	merge := openMergeSink(t, outDir, false)
+	c, err := New(Config{
+		Shards: chaosShards, ConfigHash: merge.ConfigHash(), Sink: merge,
+		OutDir: outDir, LeaseTTL: 250 * time.Millisecond,
+		MaxAttempts: 5, RetryDelay: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	url, err := c.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url = "http://" + url
+
+	ctx, cancelAll := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancelAll()
+
+	// Victim 1: claims a shard, wedges, and is SIGKILLed (context torn
+	// down) mid-run — it never reports anything and stops renewing.
+	victimCtx, killVictim := context.WithCancel(ctx)
+	victimStarted := make(chan struct{}, 1)
+	victimDone := make(chan struct{})
+	go func() {
+		defer close(victimDone)
+		_ = RunWorker(victimCtx, WorkerConfig{
+			ID: "victim", Coordinator: url, ConfigHash: merge.ConfigHash(),
+			Run: func(rctx context.Context, shard string) (string, []byte, error) {
+				victimStarted <- struct{}{}
+				<-rctx.Done()
+				return "", nil, rctx.Err()
+			},
+		})
+	}()
+
+	// Victim 2: stalls holding its lease hostage, never renewing.
+	stallCtx, stopStall := context.WithCancel(ctx)
+	stallDone := make(chan struct{})
+	go func() {
+		defer close(stallDone)
+		_ = RunWorker(stallCtx, WorkerConfig{
+			ID: "staller", Coordinator: url, ConfigHash: merge.ConfigHash(),
+			StallAfterClaim: true,
+		})
+	}()
+
+	<-victimStarted
+	killVictim() // SIGKILL: vanishes mid-shard without a word
+
+	// The survivors: one healthy, one whose upload ACKs get eaten.
+	ft := &faultinject.Transport{DropFrom: 1, Until: 2}
+	flakyClient := &http.Client{Transport: &pathFault{path: PathComplete, inner: ft, base: http.DefaultTransport}}
+	workerErrs := make(chan error, 2)
+	go func() {
+		workerErrs <- RunWorker(ctx, WorkerConfig{
+			ID: "healthy", Coordinator: url, ConfigHash: merge.ConfigHash(),
+			Run: stubRun(5 * time.Millisecond), PollDelay: 10 * time.Millisecond,
+		})
+	}()
+	go func() {
+		workerErrs <- RunWorker(ctx, WorkerConfig{
+			ID: "flaky", Coordinator: url, ConfigHash: merge.ConfigHash(),
+			Run: stubRun(5 * time.Millisecond), PollDelay: 10 * time.Millisecond,
+			Client: flakyClient,
+		})
+	}()
+
+	if err := c.Wait(ctx); err != nil {
+		t.Fatalf("coordinator did not converge: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-workerErrs; err != nil {
+			t.Fatalf("surviving worker: %v", err)
+		}
+	}
+	stopStall()
+	<-stallDone
+	<-victimDone
+
+	if got := c.Poisoned(); len(got) != 0 {
+		t.Fatalf("shards poisoned despite surviving workers: %v", got)
+	}
+	if _, err := merge.FinishReport(chaosShards); err != nil {
+		t.Fatal(err)
+	}
+	// Chaos actually happened: at least the victim's and staller's leases
+	// expired, and at least one upload ACK was eaten.
+	if got := c.scope.Counter("dist.expirations"); got < 2 {
+		t.Fatalf("dist.expirations = %d, want >= 2 (victim + staller)", got)
+	}
+	if ft.Faults() == 0 {
+		t.Fatal("no upload faults injected; the flaky path went unexercised")
+	}
+
+	ref := referenceDir(t)
+	if want, got := readFile(t, filepath.Join(ref, "report.txt")), readFile(t, filepath.Join(outDir, "report.txt")); !bytes.Equal(want, got) {
+		t.Errorf("chaos report differs from single-process report:\n--- single\n%s--- chaos\n%s", want, got)
+	}
+	for _, name := range chaosShards {
+		if want, got := readFile(t, filepath.Join(ref, name+".csv")), readFile(t, filepath.Join(outDir, name+".csv")); !bytes.Equal(want, got) {
+			t.Errorf("%s.csv differs from single-process run", name)
+		}
+	}
+
+	// And the merged directory resumes like any single-process sweep.
+	merge.Close()
+	m2 := openMergeSink(t, outDir, true)
+	for _, name := range chaosShards {
+		if !m2.Reusable(name) {
+			t.Errorf("shard %s does not verify on resume after chaos", name)
+		}
+	}
+}
+
+// TestChaosCoordinatorRestart kills the coordinator mid-sweep and restarts
+// it with -resume: the WAL replays, the surviving worker rides out the
+// outage on claim/renew retries, completed shards are not re-granted, and
+// the sweep still converges.
+func TestChaosCoordinatorRestart(t *testing.T) {
+	outDir := t.TempDir()
+	merge := openMergeSink(t, outDir, false)
+	shards := []string{"s00", "s01", "s02", "s03"}
+	cfg := Config{
+		Shards: shards, ConfigHash: merge.ConfigHash(), Sink: merge,
+		OutDir: outDir, LeaseTTL: 2 * time.Second,
+		MaxAttempts: 3, RetryDelay: 5 * time.Millisecond,
+	}
+	c1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := c1.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + addr
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var runsSeen atomic.Int64
+	firstDone := make(chan struct{}, 1)
+	run := func(rctx context.Context, shard string) (string, []byte, error) {
+		n := runsSeen.Add(1)
+		title, csv, err := stubRun(100*time.Millisecond)(rctx, shard)
+		if n == 1 && err == nil {
+			select {
+			case firstDone <- struct{}{}:
+			default:
+			}
+		}
+		return title, csv, err
+	}
+	workerErr := make(chan error, 1)
+	go func() {
+		workerErr <- RunWorker(ctx, WorkerConfig{
+			ID: "w1", Coordinator: url, ConfigHash: merge.ConfigHash(), Run: run,
+			PollDelay: 10 * time.Millisecond, MaxIdle: 30 * time.Second,
+		})
+	}()
+
+	<-firstDone
+	// Give the first upload a moment to land, then kill the coordinator.
+	waitFor(t, 5*time.Second, func() bool {
+		for _, s := range c1.Snapshot().Shards {
+			if s.Status == StateDone {
+				return true
+			}
+		}
+		return false
+	})
+	doneBefore := map[string]bool{}
+	for _, s := range c1.Snapshot().Shards {
+		if s.Status == StateDone {
+			doneBefore[s.Name] = true
+		}
+	}
+	c1.Close() // SIGKILL-equivalent for assignment state: only the WAL survives
+
+	time.Sleep(50 * time.Millisecond) // the outage window
+	cfg.Resume = true
+	c2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Start(addr); err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	for _, s := range c2.Snapshot().Shards {
+		if doneBefore[s.Name] && s.Status != StateDone {
+			t.Fatalf("shard %s was done before the restart but replayed as %s", s.Name, s.Status)
+		}
+	}
+
+	if err := c2.Wait(ctx); err != nil {
+		t.Fatalf("post-restart convergence: %v", err)
+	}
+	if err := <-workerErr; err != nil {
+		t.Fatalf("worker did not ride out the restart: %v", err)
+	}
+	if _, err := merge.FinishReport(shards); err != nil {
+		t.Fatal(err)
+	}
+	for name := range doneBefore {
+		// Re-granting a completed shard would show up as a second run.
+		if runsSeen.Load() > int64(len(shards)+1) {
+			t.Fatalf("%d runs for %d shards: restart re-granted completed work", runsSeen.Load(), len(shards))
+		}
+		_ = name
+	}
+	report := readFile(t, filepath.Join(outDir, "report.txt"))
+	for _, name := range shards {
+		if !bytes.Contains(report, []byte(name)) {
+			t.Errorf("report.txt missing shard %s after restart:\n%s", name, report)
+		}
+	}
+}
+
+// TestChaosPoisonedShardInReport: a shard that fails every attempt is
+// poisoned, the sweep still completes, and the report says so explicitly.
+func TestChaosPoisonedShardInReport(t *testing.T) {
+	outDir := t.TempDir()
+	merge := openMergeSink(t, outDir, false)
+	shards := []string{"good", "doomed"}
+	c, err := New(Config{
+		Shards: shards, ConfigHash: merge.ConfigHash(), Sink: merge,
+		OutDir: outDir, MaxAttempts: 2, RetryDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	addr, err := c.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(rctx context.Context, shard string) (string, []byte, error) {
+		if shard == "doomed" {
+			return "", nil, errors.New("always explodes")
+		}
+		return stubRun(0)(rctx, shard)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := RunWorker(ctx, WorkerConfig{
+		ID: "w1", Coordinator: "http://" + addr, ConfigHash: merge.ConfigHash(), Run: run,
+		PollDelay: 5 * time.Millisecond,
+	}); err != nil {
+		t.Fatalf("RunWorker: %v", err)
+	}
+	if err := c.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Poisoned(); len(got) != 1 || got[0] != "doomed" {
+		t.Fatalf("Poisoned() = %v, want [doomed]", got)
+	}
+	included, err := merge.FinishReport(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(included) != 1 || included[0] != "good" {
+		t.Fatalf("included = %v, want [good]", included)
+	}
+	report := string(readFile(t, filepath.Join(outDir, "report.txt")))
+	if !strings.Contains(report, "poisoned shards") ||
+		!strings.Contains(report, "doomed: gave up after 2 attempt(s)") {
+		t.Errorf("report does not name the poisoned shard:\n%s", report)
+	}
+	// The poisoned record survives resume: a later sweep re-runs it.
+	merge.Close()
+	m2 := openMergeSink(t, outDir, true)
+	if m2.Reusable("doomed") {
+		t.Error("poisoned shard reported reusable on resume")
+	}
+	if !m2.Reusable("good") {
+		t.Error("good shard does not verify on resume")
+	}
+}
+
+// TestChaosFullRestartReportComplete is the process-level restart the
+// in-process coordinator-restart test cannot reach: coordinator AND Merge
+// both die (as when the whole process is SIGKILLed) and a fresh pair
+// reopened with resume finishes the sweep. Shards completed before the
+// crash must re-enter the report through artifact verification — a WAL
+// that says done is not enough, the restarted Merge has to reload the
+// tables — and the final directory must match an undisturbed run.
+func TestChaosFullRestartReportComplete(t *testing.T) {
+	ref := referenceDir(t)
+	outDir := t.TempDir()
+
+	// Epoch 1: complete half the shards over the wire, then crash.
+	m1 := openMergeSink(t, outDir, false)
+	hash := m1.ConfigHash()
+	c1, err := New(Config{
+		Shards: chaosShards, ConfigHash: hash, Sink: m1, OutDir: outDir,
+		LeaseTTL: time.Second, MaxAttempts: 3, RetryDelay: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := c1.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(chaosShards)/2; i++ {
+		g := claimUntilShard(t, "http://"+addr, "w1", hash)
+		title, csv, err := stubRun(0)(context.Background(), g.Shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var done CompleteResponse
+		if _, err := postJSON(t, "http://"+addr+PathComplete, CompleteRequest{
+			Worker: "w1", Shard: g.Shard, Lease: g.Lease, ConfigHash: hash,
+			Title: title, CSV: csv, WallMS: 1,
+		}, &done); err != nil {
+			t.Fatal(err)
+		}
+		if !done.OK {
+			t.Fatalf("epoch-1 upload of %s rejected", g.Shard)
+		}
+	}
+	c1.Close()
+	m1.Close()
+
+	// Epoch 2: everything reopens with resume; a worker drains the rest.
+	m2 := openMergeSink(t, outDir, true)
+	c2, err := New(Config{
+		Shards: chaosShards, ConfigHash: m2.ConfigHash(), Sink: m2,
+		OutDir: outDir, Resume: true,
+		LeaseTTL: time.Second, MaxAttempts: 3, RetryDelay: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	addr2, err := c2.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	workerErr := make(chan error, 1)
+	go func() {
+		workerErr <- RunWorker(ctx, WorkerConfig{
+			ID: "w2", Coordinator: "http://" + addr2, ConfigHash: m2.ConfigHash(),
+			Run: stubRun(0), PollDelay: 10 * time.Millisecond,
+		})
+	}()
+	if err := c2.Wait(ctx); err != nil {
+		t.Fatalf("post-restart convergence: %v", err)
+	}
+	if err := <-workerErr; err != nil {
+		t.Fatalf("epoch-2 worker: %v", err)
+	}
+	if _, err := m2.FinishReport(chaosShards); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range append([]string{"report.txt"}, chaosShards...) {
+		f := name
+		if f != "report.txt" {
+			f += ".csv"
+		}
+		got := readFile(t, filepath.Join(outDir, f))
+		want := readFile(t, filepath.Join(ref, f))
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s differs from the undisturbed run after a full restart:\n got: %q\nwant: %q", f, got, want)
+		}
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within deadline")
+}

@@ -1,0 +1,121 @@
+package dist
+
+// The wire protocol: four POST endpoints a worker drives (claim, renew,
+// complete, fail) plus one GET (state) for introspection and scripts. All
+// bodies are JSON; CSV payloads ride []byte fields (base64 in JSON).
+// Protocol-level outcomes (lease lost, shard unknown) come back inside 200
+// responses so workers can branch on typed fields; config-hash mismatches
+// are 409s because they mean the worker is running the wrong sweep and
+// must stop, not retry.
+
+// Endpoint paths, versioned so a future protocol revision can coexist.
+const (
+	PathClaim    = "/v1/claim"
+	PathRenew    = "/v1/renew"
+	PathComplete = "/v1/complete"
+	PathFail     = "/v1/fail"
+	PathState    = "/v1/state"
+)
+
+// ClaimRequest asks for the next shard. ConfigHash is the worker's own
+// experiments.Config hash; the coordinator rejects a mismatch so a
+// misconfigured worker cannot pollute the sweep.
+type ClaimRequest struct {
+	Worker     string `json:"worker"`
+	ConfigHash string `json:"config_hash"`
+}
+
+// ClaimResponse statuses.
+const (
+	ClaimShard = "shard" // a shard was granted; run it
+	ClaimWait  = "wait"  // nothing claimable now; poll again after RetryMS
+	ClaimDone  = "done"  // every shard is resolved; the worker may exit
+)
+
+// ClaimResponse carries a granted shard (Status == ClaimShard) or tells
+// the worker to wait or exit.
+type ClaimResponse struct {
+	Status     string `json:"status"`
+	Shard      string `json:"shard,omitempty"`
+	Lease      string `json:"lease,omitempty"`
+	LeaseTTLMS int64  `json:"lease_ttl_ms,omitempty"`
+	Attempt    int    `json:"attempt,omitempty"` // 1-based attempt this grant is
+	RetryMS    int64  `json:"retry_ms,omitempty"`
+}
+
+// RenewRequest extends a held lease; the worker sends one every TTL/3.
+type RenewRequest struct {
+	Worker string `json:"worker"`
+	Shard  string `json:"shard"`
+	Lease  string `json:"lease"`
+}
+
+// RenewResponse: OK false means the lease is gone (expired and reassigned,
+// or the coordinator restarted without it) — the worker must abandon the
+// shard run.
+type RenewResponse struct {
+	OK     bool   `json:"ok"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// CompleteRequest uploads a finished shard. Uploads are idempotent per
+// config hash: the coordinator accepts them even from expired leases and
+// merges last-write-wins, so a worker that lost the response to a
+// previous upload can safely retry.
+type CompleteRequest struct {
+	Worker     string `json:"worker"`
+	Shard      string `json:"shard"`
+	Lease      string `json:"lease"`
+	ConfigHash string `json:"config_hash"`
+	Title      string `json:"title"`
+	CSV        []byte `json:"csv"`
+	WallMS     int64  `json:"wall_ms"`
+}
+
+// CompleteResponse acknowledges a merged upload. Stale reports whether the
+// lease had already been lost when the upload landed (informational).
+type CompleteResponse struct {
+	OK    bool `json:"ok"`
+	Stale bool `json:"stale,omitempty"`
+}
+
+// FailRequest reports a shard run that errored. The coordinator re-queues
+// the shard with backoff, or poisons it once attempts are exhausted.
+type FailRequest struct {
+	Worker string `json:"worker"`
+	Shard  string `json:"shard"`
+	Lease  string `json:"lease"`
+	Error  string `json:"error"`
+	WallMS int64  `json:"wall_ms"`
+}
+
+// FailResponse: Poisoned tells the worker the shard will not be retried.
+type FailResponse struct {
+	OK       bool `json:"ok"`
+	Poisoned bool `json:"poisoned,omitempty"`
+}
+
+// Shard states as reported by /v1/state.
+const (
+	StatePending  = "pending"
+	StateLeased   = "leased"
+	StateDone     = "done"
+	StatePoisoned = "poisoned"
+)
+
+// ShardInfo is one shard's row in the state dump.
+type ShardInfo struct {
+	Name        string `json:"name"`
+	Status      string `json:"status"`
+	Attempts    int    `json:"attempts"`
+	Worker      string `json:"worker,omitempty"`
+	LeaseMSLeft int64  `json:"lease_ms_left,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// StateResponse is the GET /v1/state body.
+type StateResponse struct {
+	Done       bool        `json:"done"`
+	ConfigHash string      `json:"config_hash"`
+	Shards     []ShardInfo `json:"shards"`
+}

@@ -64,6 +64,14 @@ type Config struct {
 	// AfterExperiment do not affect results and are excluded from the hash.
 	Resume bool
 
+	// LockWait, when positive, bounds how long opening the sweep's outDir
+	// waits for another live sweep to release the single-writer lock
+	// before failing with ErrSweepLocked. Zero keeps the historical
+	// fail-immediately behaviour. Distributed coordinators set this so a
+	// restart can overlap its dying predecessor for a moment instead of
+	// aborting the whole sweep. Operational only: excluded from Hash.
+	LockWait time.Duration
+
 	// AfterExperiment, when non-nil, runs after each experiment's
 	// artifacts and manifest record are durably committed (also for
 	// skipped and failed experiments). It exists for fault injection —

@@ -9,6 +9,7 @@ package experiments
 // record — the crash case — is discarded by the journal layer.
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/csv"
 	"encoding/hex"
@@ -65,6 +66,13 @@ type manifestRecord struct {
 	Error   string `json:"error,omitempty"`
 	WallMS  int64  `json:"wall_ms,omitempty"`
 
+	// recExperiment, distributed sweeps only: which worker produced the
+	// artifact and how many attempts a poisoned shard burned. Informational
+	// — resume skip decisions ignore both, so a merged manifest stays fully
+	// resume-compatible with a single-process one.
+	Worker   string `json:"worker,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+
 	// recExperiment and recReport: the committed artifact and its hash.
 	Artifact string `json:"artifact,omitempty"`
 	SHA256   string `json:"sha256,omitempty"`
@@ -81,6 +89,11 @@ type manifestRecord struct {
 const (
 	statusOK     = "ok"
 	statusFailed = "failed"
+	// statusPoisoned marks a shard a distributed sweep gave up on after its
+	// attempt cap: permanently failed for *this* sweep, but — like any
+	// non-ok record — re-run by a later -resume, so poisoning never
+	// strands an experiment forever.
+	statusPoisoned = "poisoned"
 )
 
 // Hash returns a stable hex digest of every Config field that affects
@@ -144,8 +157,10 @@ type sweepManifest struct {
 // openManifest locks outDir, clears stale temp debris, and opens the
 // manifest journal. With resume set, prior records are replayed so the
 // sweep can skip verified work; otherwise the journal starts fresh.
-func openManifest(outDir string, cfg Config, resume bool) (*sweepManifest, error) {
-	lock, err := persist.AcquireLock(filepath.Join(outDir, manifestLockName))
+// Config.LockWait bounds how long the lock acquisition queues behind
+// another live sweep before failing typed (zero: fail immediately).
+func openManifest(ctx context.Context, outDir string, cfg Config, resume bool) (*sweepManifest, error) {
+	lock, err := persist.AcquireLockWait(ctx, filepath.Join(outDir, manifestLockName), cfg.LockWait)
 	if err != nil {
 		if errors.Is(err, persist.ErrLocked) {
 			return nil, fmt.Errorf("%w: %v", ErrSweepLocked, err)
@@ -170,6 +185,7 @@ func openManifest(outDir string, cfg Config, resume bool) (*sweepManifest, error
 		return nil, fmt.Errorf("experiments: opening sweep manifest: %w", err)
 	}
 	m := &sweepManifest{journal: journal, lock: lock, hash: cfg.Hash(), prior: map[string]manifestRecord{}, walls: walls}
+	//lint:ignore ctx-loop replay decodes records already in memory — bounded work with nothing to cancel
 	for _, raw := range records {
 		var rec manifestRecord
 		if err := json.Unmarshal(raw, &rec); err != nil {

@@ -102,7 +102,7 @@ func runRunners(ctx context.Context, cfg Config, outDir string, names []string, 
 			return nil, err
 		}
 		var err error
-		if man, err = openManifest(outDir, cfg, cfg.Resume); err != nil {
+		if man, err = openManifest(ctx, outDir, cfg, cfg.Resume); err != nil {
 			return nil, err
 		}
 		defer man.close()
@@ -121,8 +121,12 @@ func runRunners(ctx context.Context, cfg Config, outDir string, names []string, 
 	// The sweep gets its own telemetry scope and each experiment a child of
 	// it, so metric snapshots, probe events and log records are attributable
 	// per experiment while the process-wide registry still accumulates the
-	// totals (scoped emission always dual-writes the default registry).
-	sweepScope := obs.NewScope("sweep")
+	// totals (scoped emission always dual-writes the default registry). A
+	// scope already on ctx becomes the parent — a distributed worker wraps
+	// each shard run in its own worker scope, so /tasks and the metrics
+	// dump show worker-<id>/sweep/<experiment> lineage; with no scope on
+	// ctx, Child on the nil scope opens a root exactly as before.
+	sweepScope := obs.FromContext(ctx).Child("sweep")
 	defer sweepScope.Close()
 	ctx = obs.WithScope(ctx, sweepScope)
 	type failure struct {

@@ -1,0 +1,135 @@
+package faultinject_test
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphio/internal/faultinject"
+)
+
+func transportClient(t *testing.T, tr *faultinject.Transport) (*http.Client, *httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		_, _ = io.WriteString(w, "0123456789abcdef")
+	}))
+	t.Cleanup(srv.Close)
+	return &http.Client{Transport: tr}, srv, &served
+}
+
+// Drop must deliver the request to the server (the half-open case) and
+// destroy only the client's view of the response.
+func TestTransportDropLosesResponseNotRequest(t *testing.T) {
+	tr := &faultinject.Transport{DropFrom: 2, Until: 2}
+	client, srv, served := transportClient(t, tr)
+
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("call 1: %v, want clean", err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+
+	if _, err := client.Get(srv.URL); err == nil || !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("call 2: err = %v, want wrapped ErrInjected", err)
+	}
+	if got := served.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2 (drop loses the response, not the request)", got)
+	}
+
+	// Past the Until window the transport is transparent again: a retry
+	// succeeds, which is the transient-fault contract.
+	resp, err = client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("call 3 (past window): %v, want clean", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil || string(body) != "0123456789abcdef" {
+		t.Fatalf("call 3 body = %q, %v; want full body", body, err)
+	}
+	if tr.Faults() != 1 {
+		t.Errorf("Faults = %d, want 1", tr.Faults())
+	}
+}
+
+// Truncate must yield the prefix and then a read error, never a clean EOF.
+func TestTransportTruncateTearsBody(t *testing.T) {
+	tr := &faultinject.Transport{TruncateFrom: 1, TruncateBytes: 4}
+	client, srv, _ := transportClient(t, tr)
+
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("read err = %v, want wrapped ErrInjected", err)
+	}
+	if string(body) != "0123" {
+		t.Fatalf("torn body = %q, want the 4-byte prefix", body)
+	}
+}
+
+// A truncation allowance larger than the body is not a fault the client
+// can observe: the body ends with a normal EOF inside the allowance.
+func TestTransportTruncateBeyondBodyIsClean(t *testing.T) {
+	tr := &faultinject.Transport{TruncateFrom: 1, TruncateBytes: 1 << 20}
+	client, srv, _ := transportClient(t, tr)
+
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil || string(body) != "0123456789abcdef" {
+		t.Fatalf("body = %q, %v; want full body, nil error", body, err)
+	}
+}
+
+// Delay holds the response back but delivers it intact.
+func TestTransportDelayDeliversLate(t *testing.T) {
+	tr := &faultinject.Transport{DelayFrom: 1, Delay: 30 * time.Millisecond}
+	client, srv, _ := transportClient(t, tr)
+
+	start := time.Now()
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil || !strings.HasPrefix(string(body), "0123") {
+		t.Fatalf("delayed body = %q, %v; want intact", body, err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("response in %v, want ≥ the injected 30ms delay", elapsed)
+	}
+}
+
+// The zero value (plus a Base) must be a transparent pass-through, and the
+// call counter must tick regardless.
+func TestTransportZeroValuePassesThrough(t *testing.T) {
+	tr := &faultinject.Transport{}
+	client, srv, _ := transportClient(t, tr)
+	for i := 0; i < 3; i++ {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			t.Fatalf("call %d: %v", i+1, err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}
+	if tr.Calls() != 3 || tr.Faults() != 0 {
+		t.Fatalf("Calls, Faults = %d, %d; want 3, 0", tr.Calls(), tr.Faults())
+	}
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -15,6 +16,13 @@ import (
 // and loops that do no real work — no calls at all, or only formatting
 // calls (fmt/strings/strconv/errors) — whose cancellation latency is
 // bounded by straight-line arithmetic.
+//
+// The rule also bans time.Sleep inside any loop (outer or inner) of a
+// context-taking function: a sleeping poll loop consults ctx only between
+// naps, so cancellation stalls for the full sleep — and the distributed
+// sweep's claim-polling and lease-renewal loops are exactly where that
+// latency turns a Ctrl-C into a hung worker. A timer plus a select on
+// ctx.Done() gives the same pacing with immediate cancellation.
 type CtxLoop struct{}
 
 // NewCtxLoop returns the rule.
@@ -42,6 +50,9 @@ func (r *CtxLoop) Check(p *Package, report Reporter) {
 				if loopDoesWork(p, loop) && !mentionsContext(p, loop) {
 					report(loop.Pos(), "%s accepts a context.Context but this loop never consults it; check ctx.Err()/ctx.Done() or pass ctx into the loop body", name)
 				}
+			})
+			findLoopSleeps(p, fd.Body, false, func(pos token.Pos) {
+				report(pos, "%s accepts a context.Context but time.Sleep in a loop ignores it; use a timer and select on ctx.Done() so cancellation does not stall", name)
 			})
 			return true
 		})
@@ -81,6 +92,37 @@ func checkLoops(body ast.Node, inLoop bool, visit func(ast.Node)) {
 			return false
 		case *ast.FuncDecl:
 			// nested declarations don't occur; keep the walk simple
+		}
+		return true
+	})
+}
+
+var timeSleepFuncs = map[string]bool{"Sleep": true}
+
+// findLoopSleeps reports every time.Sleep call lexically inside a for or
+// range loop of body, at any nesting depth — unlike the consult check,
+// depth does not excuse a sleep: an uncancellable nap in an inner
+// renewal/polling loop stalls shutdown just as surely as in the outer one.
+// Function literals keep the surrounding nesting level, so a sleep in a
+// goroutine launched from a loop still counts.
+func findLoopSleeps(p *Package, body ast.Node, inLoop bool, report func(token.Pos)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			findLoopSleeps(p, n.Body, true, report)
+			return false
+		case *ast.RangeStmt:
+			findLoopSleeps(p, n.Body, true, report)
+			return false
+		case *ast.CallExpr:
+			if !inLoop {
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if _, ok := isPkgFunc(p, sel, "time", timeSleepFuncs); ok {
+					report(n.Pos())
+				}
+			}
 		}
 		return true
 	})

@@ -6,6 +6,7 @@ import (
 	"context"
 	"strconv"
 	"strings"
+	"time"
 )
 
 func crunch(x int) int { return x * x }
@@ -94,6 +95,76 @@ func FormattingOnly(ctx context.Context, xs []int) string {
 func NoCtx(xs []int) int {
 	s := 0
 	for _, x := range xs {
+		s += crunch(x)
+	}
+	return s
+}
+
+// SleepyPoll consults ctx, but the sleep itself is uncancellable — the
+// claim-polling mistake: Ctrl-C stalls for the full nap.
+func SleepyPoll(ctx context.Context, xs []int) int {
+	s := 0
+	for _, x := range xs {
+		if ctx.Err() != nil {
+			return s
+		}
+		s += crunch(x)
+		time.Sleep(time.Millisecond) // want `time.Sleep in a loop ignores it`
+	}
+	return s
+}
+
+// SleepyInner hides the nap one loop down (a renewal loop inside a claim
+// loop); depth does not excuse it.
+func SleepyInner(ctx context.Context, m [][]int) (int, error) {
+	s := 0
+	for _, row := range m {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		for range row {
+			time.Sleep(time.Millisecond) // want `time.Sleep in a loop ignores it`
+			s++
+		}
+	}
+	return s, nil
+}
+
+// TimerSelect paces the same loop cancellably: clean.
+func TimerSelect(ctx context.Context, xs []int) int {
+	s := 0
+	for _, x := range xs {
+		t := time.NewTimer(time.Millisecond)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return s
+		case <-t.C:
+		}
+		s += crunch(x)
+	}
+	return s
+}
+
+// SleepOutsideLoop is allowed: a one-off settle delay before the loop is
+// not a polling nap.
+func SleepOutsideLoop(ctx context.Context, xs []int) (int, error) {
+	time.Sleep(time.Millisecond)
+	s := 0
+	for _, x := range xs {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		s += crunch(x)
+	}
+	return s, nil
+}
+
+// SleeperNoCtx has no context to honour; pacing with Sleep is its business.
+func SleeperNoCtx(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		time.Sleep(time.Millisecond)
 		s += crunch(x)
 	}
 	return s

@@ -1,12 +1,14 @@
 package persist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 )
 
 // ErrLocked is wrapped by AcquireLock when the lock file is held by a
@@ -53,6 +55,46 @@ func AcquireLock(path string) (*Lock, error) {
 		}
 	}
 	return nil, fmt.Errorf("persist: lock %s: could not acquire after retries", path)
+}
+
+// AcquireLockWait is AcquireLock with a bounded wait: while the lock is
+// held by a live process, it retries with doubling backoff until the lock
+// frees up, wait elapses, or ctx is cancelled — whichever comes first. A
+// wait of zero or less degrades to a single AcquireLock attempt. The final
+// error still wraps ErrLocked when the wait ran out with the owner alive,
+// so callers keep branching with errors.Is exactly as before.
+//
+// It exists for the coordinated-sweep topology: a distributed worker or a
+// restarted coordinator briefly overlaps the previous owner of an outDir
+// (two-stage SIGINT wind-down, a dying predecessor mid-release) and should
+// queue for a few seconds rather than fail the whole run on a transient
+// hold. Waiting uses a timer select, not time.Sleep, so cancellation cuts
+// the wait short immediately.
+func AcquireLockWait(ctx context.Context, path string, wait time.Duration) (*Lock, error) {
+	if wait <= 0 {
+		return AcquireLock(path)
+	}
+	wctx, cancel := context.WithTimeout(ctx, wait)
+	defer cancel()
+	delay := 10 * time.Millisecond
+	const maxDelay = 500 * time.Millisecond
+	for {
+		l, err := AcquireLock(path)
+		if err == nil || !errors.Is(err, ErrLocked) {
+			return l, err
+		}
+		Count("persist.lock.wait")
+		t := time.NewTimer(delay)
+		select {
+		case <-wctx.Done():
+			t.Stop()
+			return nil, fmt.Errorf("%w (gave up waiting after %v: %v)", err, wait, wctx.Err())
+		case <-t.C:
+		}
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
+		}
+	}
 }
 
 // Release drops the lock. Releasing twice is a no-op.

@@ -1,0 +1,110 @@
+package persist_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"graphio/internal/persist"
+)
+
+// A bounded wait must outlast a transient hold: the owner releases shortly
+// after the waiter starts polling, and the waiter walks away with the lock
+// instead of the immediate ErrLocked AcquireLock reports.
+func TestAcquireLockWaitOutlastsTransientHold(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.lock")
+	l, err := persist.AcquireLock(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(50 * time.Millisecond)
+		if err := l.Release(); err != nil {
+			t.Errorf("release: %v", err)
+		}
+	}()
+	l2, err := persist.AcquireLockWait(context.Background(), path, 5*time.Second)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("AcquireLockWait = %v, want acquired after owner released", err)
+	}
+	if err := l2.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// When the owner never releases, the wait must give up within its bound
+// and still report a typed ErrLocked so callers branch as before.
+func TestAcquireLockWaitGivesUpTyped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.lock")
+	l, err := persist.AcquireLock(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := l.Release(); err != nil {
+			t.Error(err)
+		}
+	}()
+	start := time.Now()
+	if _, err := persist.AcquireLockWait(context.Background(), path, 80*time.Millisecond); !errors.Is(err, persist.ErrLocked) {
+		t.Fatalf("AcquireLockWait = %v, want ErrLocked", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("gave up after %v, want well under the test budget", elapsed)
+	}
+}
+
+// Cancelling the context cuts the wait short immediately — a worker told
+// to shut down must not block out its full lock-wait budget.
+func TestAcquireLockWaitHonorsCancel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.lock")
+	l, err := persist.AcquireLock(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := l.Release(); err != nil {
+			t.Error(err)
+		}
+	}()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := persist.AcquireLockWait(ctx, path, time.Hour)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, persist.ErrLocked) {
+			t.Fatalf("cancelled wait = %v, want ErrLocked", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("AcquireLockWait did not return after cancel")
+	}
+}
+
+// A non-positive wait is a single immediate attempt: held → ErrLocked now.
+func TestAcquireLockWaitZeroIsImmediate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.lock")
+	l, err := persist.AcquireLock(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := l.Release(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if _, err := persist.AcquireLockWait(context.Background(), path, 0); !errors.Is(err, persist.ErrLocked) {
+		t.Fatalf("zero-wait acquire = %v, want ErrLocked", err)
+	}
+}

@@ -1,0 +1,151 @@
+#!/bin/sh
+# Chaos gate for the distributed sweep (make verify-dist).
+#
+# One coordinator shards a short sweep across three workers: one is
+# SIGKILLed mid-shard, one claims a shard and stalls without renewing
+# until its lease expires, and the coordinator itself is SIGKILLed and
+# restarted with -resume halfway through. The surviving worker must
+# drain the queue, no shard may be poisoned, and the merged artifact
+# set must be byte-identical to a single-process run — after which the
+# merged manifest must still satisfy a plain -resume. Run from the
+# repository root.
+set -eu
+
+EXPS="hypercube,fft,er"
+work=$(mktemp -d)
+pids=""
+cleanup() {
+    for p in $pids; do kill -9 "$p" 2>/dev/null || true; done
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+# wait_line FILE PATTERN PID: poll FILE until PATTERN appears, failing
+# fast if process PID dies first (its logs are the diagnosis).
+wait_line() {
+    i=0
+    while ! grep -q "$2" "$1" 2>/dev/null; do
+        if ! kill -0 "$3" 2>/dev/null; then
+            echo "verify-dist: process $3 died before '$2' appeared in $1:" >&2
+            cat "$1" >&2
+            exit 1
+        fi
+        i=$((i + 1))
+        if [ "$i" -gt 300 ]; then
+            echo "verify-dist: timed out waiting for '$2' in $1" >&2
+            cat "$1" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+echo "verify-dist: building cmd/experiments"
+go build -o "$work/experiments" ./cmd/experiments
+
+echo "verify-dist: single-process reference sweep"
+"$work/experiments" -profile quick -exp "$EXPS" -out "$work/ref" >/dev/null
+
+echo "verify-dist: starting coordinator (lease TTL 1s)"
+"$work/experiments" -profile quick -exp "$EXPS" -out "$work/dist" \
+    -coordinator 127.0.0.1:0 -lease-ttl 1s >"$work/coord1.log" 2>&1 &
+coord=$!
+pids="$pids $coord"
+wait_line "$work/coord1.log" "^coordinator listening on " "$coord"
+addr=$(sed -n 's/^coordinator listening on //p' "$work/coord1.log" | head -n 1)
+echo "verify-dist: coordinator bound to $addr"
+
+echo "verify-dist: worker 1 (staller) claims a shard and stops renewing"
+"$work/experiments" -profile quick -worker "http://$addr" -worker-id staller \
+    -chaos-stall >"$work/staller.log" 2>&1 &
+staller=$!
+pids="$pids $staller"
+wait_line "$work/staller.log" "stalling on" "$staller"
+
+echo "verify-dist: worker 2 (victim) starts, then is SIGKILLed mid-shard"
+"$work/experiments" -profile quick -worker "http://$addr" -worker-id victim \
+    >"$work/victim.log" 2>&1 &
+victim=$!
+pids="$pids $victim"
+wait_line "$work/victim.log" "running" "$victim"
+kill -9 "$victim"
+
+echo "verify-dist: coordinator SIGKILLed, restarted with -resume on $addr"
+kill -9 "$coord"
+wait "$coord" 2>/dev/null || true
+"$work/experiments" -profile quick -exp "$EXPS" -out "$work/dist" \
+    -coordinator "$addr" -lease-ttl 1s -resume -lock-wait 10s \
+    >"$work/coord2.log" 2>&1 &
+coord=$!
+pids="$pids $coord"
+wait_line "$work/coord2.log" "^coordinator listening on " "$coord"
+
+echo "verify-dist: worker 3 (healthy) drains the remaining shards"
+"$work/experiments" -profile quick -worker "http://$addr" -worker-id healthy \
+    >"$work/healthy.log" 2>&1 &
+healthy=$!
+pids="$pids $healthy"
+
+set +e
+wait "$coord"
+status=$?
+set -e
+if [ "$status" -ne 0 ]; then
+    echo "verify-dist: restarted coordinator exited $status (want 0):" >&2
+    cat "$work/coord2.log" >&2
+    exit 1
+fi
+
+fail=0
+if grep -q "^POISONED" "$work/coord2.log"; then
+    echo "verify-dist: a shard was poisoned; chaos should only delay, not kill:" >&2
+    grep "^POISONED" "$work/coord2.log" >&2
+    fail=1
+fi
+if ! grep -q "sweep complete" "$work/coord2.log"; then
+    echo "verify-dist: no 'sweep complete' line from the restarted coordinator" >&2
+    fail=1
+fi
+# The chaos must actually have fired: a lease expiry from the stalled or
+# killed worker, and a WAL replay on the coordinator restart.
+if ! grep -q "expired" "$work/coord1.log" "$work/coord2.log"; then
+    echo "verify-dist: no lease ever expired; the stall/kill chaos never bit" >&2
+    fail=1
+fi
+if ! grep -q "WAL replayed" "$work/coord2.log"; then
+    echo "verify-dist: restarted coordinator did not replay its WAL" >&2
+    fail=1
+fi
+
+for f in "$work"/ref/*.csv "$work/ref/report.txt"; do
+    name=$(basename "$f")
+    if ! cmp -s "$f" "$work/dist/$name"; then
+        echo "verify-dist: $name differs between single-process and distributed run" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+
+echo "verify-dist: merged manifest must satisfy a plain single-process -resume"
+"$work/experiments" -profile quick -exp "$EXPS" -out "$work/dist" -resume \
+    >"$work/resume.log" 2>&1
+if ! grep -q "skipping" "$work/resume.log"; then
+    echo "verify-dist: -resume on the merged outDir recomputed everything:" >&2
+    cat "$work/resume.log" >&2
+    exit 1
+fi
+for f in "$work"/ref/*.csv "$work/ref/report.txt"; do
+    name=$(basename "$f")
+    if ! cmp -s "$f" "$work/dist/$name"; then
+        echo "verify-dist: $name changed after the post-merge resume" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -eq 0 ]; then
+    echo "verify-dist: OK (chaos converged, artifacts byte-identical, manifest resumable)"
+fi
+exit "$fail"

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (no deps).
 
-.PHONY: build test test-race vet vet-strict lint bench bench-json bench-check bench-history cover experiments experiments-quick verify-resume verify-dist examples fmt
+.PHONY: build test test-race vet vet-strict lint bench bench-json bench-check bench-history cover experiments experiments-quick verify-resume verify-dist verify-graphiod examples fmt
 
 build:
 	go build ./...
@@ -73,6 +73,13 @@ verify-resume:
 # a single-process sweep and the manifest must still resume cleanly.
 verify-dist:
 	sh scripts/verify_dist.sh
+
+# Daemon chaos gate: graphiod SIGKILLed with jobs in flight, restarted on
+# the same data dir; the WAL replay must finish every accepted job, a
+# resubmission must be a byte-identical cache hit, an unmeetable deadline
+# must fail typed while siblings complete, and SIGTERM must drain cleanly.
+verify-graphiod:
+	sh scripts/verify_graphiod.sh
 
 examples:
 	go run ./examples/quickstart

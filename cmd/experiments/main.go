@@ -52,6 +52,7 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "coordinator: how long a claimed shard stays owned without a renewal")
 	shardAttempts := flag.Int("shard-attempts", 3, "coordinator: grants per shard before it is poisoned")
 	chaosStall := flag.Bool("chaos-stall", false, "worker chaos mode: claim one shard, then stall without renewing until killed (lease-expiry testing)")
+	authToken := flag.String("auth-token", os.Getenv("GRAPHIO_TOKEN"), "require/present 'Authorization: Bearer <token>' on the claim API (default $GRAPHIO_TOKEN; empty disables auth)")
 	lockWait := flag.Duration("lock-wait", 0, "wait up to this long for -out's sweep lock instead of failing immediately (restart overlap)")
 	ofl := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -148,9 +149,9 @@ func main() {
 				fmt.Fprintln(os.Stderr, "experiments: -coordinator needs -out (the merged sweep lands there)")
 				os.Exit(2)
 			}
-			poisoned, err = runCoordinator(ofl.Context(), cfg, *out, names, *coordinator, *leaseTTL, *shardAttempts)
+			poisoned, err = runCoordinator(ofl.Context(), cfg, *out, names, *coordinator, *leaseTTL, *shardAttempts, *authToken)
 		} else {
-			err = runWorker(ofl.Context(), cfg, *workerURL, *workerID, *chaosStall)
+			err = runWorker(ofl.Context(), cfg, *workerURL, *workerID, *chaosStall, *authToken)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
@@ -213,7 +214,7 @@ func shardNames(names []string) []string {
 // runCoordinator shards the selected experiments, serves the claim API,
 // and merges worker uploads into outDir. It returns the shards the sweep
 // had to poison (a non-empty list exits non-zero in main).
-func runCoordinator(ctx context.Context, cfg experiments.Config, outDir string, names []string, addr string, ttl time.Duration, attempts int) ([]string, error) {
+func runCoordinator(ctx context.Context, cfg experiments.Config, outDir string, names []string, addr string, ttl time.Duration, attempts int, authToken string) ([]string, error) {
 	shards := shardNames(names)
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("no experiment matches %v", names)
@@ -226,7 +227,7 @@ func runCoordinator(ctx context.Context, cfg experiments.Config, outDir string, 
 	c, err := dist.New(dist.Config{
 		Shards: shards, ConfigHash: merge.ConfigHash(), Sink: merge,
 		OutDir: outDir, Resume: cfg.Resume,
-		LeaseTTL: ttl, MaxAttempts: attempts, Log: os.Stderr,
+		LeaseTTL: ttl, MaxAttempts: attempts, AuthToken: authToken, Log: os.Stderr,
 	})
 	if err != nil {
 		return nil, err
@@ -257,7 +258,7 @@ func runCoordinator(ctx context.Context, cfg experiments.Config, outDir string, 
 // ordinary RunAll path (no local outDir — results upload instead), so a
 // distributed shard behaves exactly like a local experiment: same config,
 // same per-experiment timeout, same telemetry.
-func runWorker(ctx context.Context, cfg experiments.Config, url, id string, stall bool) error {
+func runWorker(ctx context.Context, cfg experiments.Config, url, id string, stall bool, authToken string) error {
 	if id == "" {
 		host, _ := os.Hostname()
 		if host == "" {
@@ -281,7 +282,8 @@ func runWorker(ctx context.Context, cfg experiments.Config, url, id string, stal
 	}
 	return dist.RunWorker(ctx, dist.WorkerConfig{
 		ID: id, Coordinator: url, ConfigHash: cfg.Hash(),
-		Run: run, StallAfterClaim: stall, Log: os.Stderr,
+		AuthToken: authToken,
+		Run:       run, StallAfterClaim: stall, Log: os.Stderr,
 	})
 }
 

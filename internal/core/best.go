@@ -46,7 +46,6 @@ func BestLowerBoundContext(ctx context.Context, g *graph.Graph, M int, maxK int,
 		if bound > rep.Best.Bound || rep.Best.Method == "" {
 			rep.Best = lb
 		}
-		//lint:ignore metric-name bounded family core.best.<method>; methods are the fixed candidate list assembled above
 		obs.ObserveCtx(ctx, "core.best."+method, elapsed)
 		obs.LogCtx(ctx, "best: %-9s bound=%.4f in %v", method, bound, elapsed.Round(time.Microsecond))
 	}

@@ -485,7 +485,6 @@ func denseSpectrum(ctx context.Context, g *graph.Graph, kind laplacian.Kind, h i
 // recordFallback appends a degradation event and bumps its counters,
 // attributed to ctx's telemetry scope.
 func recordFallback(ctx context.Context, events []string, kindName, msg string) []string {
-	//lint:ignore metric-name bounded family core.fallback.<kind>; kinds are the fallbackKind constants in this package
 	obs.IncCtx(ctx, "core.fallback."+kindName)
 	obs.IncCtx(ctx, "core.fallback.total")
 	return append(events, msg)

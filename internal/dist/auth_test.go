@@ -1,0 +1,79 @@
+package dist
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// An auth-enabled coordinator must reject unauthenticated and wrong-token
+// requests with 401 on every endpoint, while probes carrying the right
+// token proceed.
+func TestCoordinatorRejectsBadBearerToken(t *testing.T) {
+	_, url := newTestCoordinator(t, Config{
+		Shards: []string{"alpha"}, ConfigHash: "h", AuthToken: "sekrit",
+	})
+
+	var claim ClaimResponse
+	status, err := postJSON(t, url+PathClaim, ClaimRequest{Worker: "w1", ConfigHash: "h"}, &claim)
+	if status != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated claim = %d (%v), want 401", status, err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "bearer token") {
+		t.Fatalf("401 body = %v, want a bearer-token explanation", err)
+	}
+
+	req, err := http.NewRequest(http.MethodGet, url+PathState, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer wrong")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("wrong-token state = %d, want 401", resp.StatusCode)
+	}
+}
+
+// A worker holding the shared token completes the sweep against an
+// auth-enabled coordinator; a tokenless worker fails fast (401 is fatal,
+// not retried into the attempt budget).
+func TestWorkerAuthTokenRoundTrip(t *testing.T) {
+	sink := newMemSink()
+	c, url := newTestCoordinator(t, Config{
+		Shards: []string{"alpha", "beta"}, ConfigHash: "h", Sink: sink,
+		AuthToken: "sekrit",
+	})
+
+	start := time.Now()
+	err := RunWorker(context.Background(), WorkerConfig{
+		ID: "noauth", Coordinator: url, ConfigHash: "h", Run: stubRun(0),
+	})
+	if err == nil || !strings.Contains(err.Error(), "401") {
+		t.Fatalf("tokenless worker err = %v, want fatal 401", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("tokenless worker took %v to fail; 401 must be fatal, not retried", elapsed)
+	}
+
+	err = RunWorker(context.Background(), WorkerConfig{
+		ID: "w1", Coordinator: url, ConfigHash: "h", Run: stubRun(time.Millisecond),
+		AuthToken: "sekrit",
+	})
+	if err != nil {
+		t.Fatalf("authenticated worker: %v", err)
+	}
+	if !c.Snapshot().Done {
+		t.Fatal("sweep not done after the authenticated worker finished")
+	}
+	for _, name := range []string{"alpha", "beta"} {
+		if _, ok := sink.result(name); !ok {
+			t.Fatalf("sink missing result for %s", name)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -61,6 +62,11 @@ type Config struct {
 	// RetryDelay is the base of the exponential re-queue backoff after a
 	// failed or expired attempt. Default 1s.
 	RetryDelay time.Duration
+	// AuthToken, when non-empty, requires every request to carry
+	// "Authorization: Bearer <token>" (shared with workers via
+	// WorkerConfig.AuthToken / GRAPHIO_TOKEN). Token check only; transport
+	// encryption is out of scope.
+	AuthToken string
 	// Log receives progress lines (nil = silent).
 	Log io.Writer
 }
@@ -334,7 +340,8 @@ func (c *Coordinator) resolveAttemptLocked(s *shardState, cause error) {
 	s.notBefore = obs.Now().Add(c.requeueDelay(s.attempts))
 }
 
-// Handler returns the coordinator's HTTP API.
+// Handler returns the coordinator's HTTP API (bearer-token guarded when
+// Config.AuthToken is set).
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+PathClaim, c.handleClaim)
@@ -342,7 +349,18 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST "+PathComplete, c.handleComplete)
 	mux.HandleFunc("POST "+PathFail, c.handleFail)
 	mux.HandleFunc("GET "+PathState, c.handleState)
-	return mux
+	if c.cfg.AuthToken == "" {
+		return mux
+	}
+	want := []byte("Bearer " + c.cfg.AuthToken)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got := []byte(r.Header.Get("Authorization"))
+		if subtle.ConstantTimeCompare(got, want) != 1 {
+			http.Error(w, "missing or wrong bearer token", http.StatusUnauthorized)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // maxBody bounds request bodies; the largest legitimate payload is a CSV

@@ -30,6 +30,9 @@ type WorkerConfig struct {
 	Coordinator string
 	// ConfigHash must match the coordinator's sweep; a mismatch is fatal.
 	ConfigHash string
+	// AuthToken rides every request as "Authorization: Bearer <token>"
+	// when non-empty; must match the coordinator's Config.AuthToken.
+	AuthToken string
 	// Run executes one claimed shard.
 	Run RunFunc
 	// Client issues the HTTP requests (nil = a dedicated default client).
@@ -289,6 +292,9 @@ func (w *worker) post(ctx context.Context, path string, body, into any) error {
 		return errFatal{err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if w.cfg.AuthToken != "" {
+		req.Header.Set("Authorization", "Bearer "+w.cfg.AuthToken)
+	}
 	resp, err := w.client.Do(req)
 	if err != nil {
 		return err
@@ -300,7 +306,9 @@ func (w *worker) post(ctx context.Context, path string, body, into any) error {
 	}
 	if resp.StatusCode != http.StatusOK {
 		err := fmt.Errorf("%s: %s: %s", path, resp.Status, strings.TrimSpace(string(data)))
-		if resp.StatusCode == http.StatusConflict || resp.StatusCode == http.StatusBadRequest {
+		// 409 (config mismatch), 400 (malformed), and 401 (bad or missing
+		// token) cannot be fixed by retrying.
+		if resp.StatusCode == http.StatusConflict || resp.StatusCode == http.StatusBadRequest || resp.StatusCode == http.StatusUnauthorized {
 			return errFatal{err}
 		}
 		return err

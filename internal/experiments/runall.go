@@ -185,7 +185,6 @@ func runRunners(ctx context.Context, cfg Config, outDir string, names []string, 
 		escope.Close()
 		elapsed := obs.Since(runStart)
 		eta.finish(r.Name, elapsed, err != nil)
-		//lint:ignore metric-name bounded family experiments.<runner>; runner names are the static Runners registry
 		obs.ObserveCtx(ctx, "experiments."+r.Name, elapsed)
 		if cfg.Progress != nil {
 			fmt.Fprintf(cfg.Progress, "experiments: %s done in %v (%s)\n",

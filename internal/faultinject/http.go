@@ -26,7 +26,12 @@ import (
 //     so a client that retries will double-submit, exactly what
 //     last-write-wins merge semantics must absorb.
 //   - DelayFrom/Delay: the response is held back Delay before returning —
-//     a slow network that pushes clients into their deadline handling.
+//     a slow network that pushes clients into their deadline handling. A
+//     request context that expires mid-delay aborts the wait: the response
+//     is discarded and the context's error returned, exactly what a real
+//     transport reports when the peer is too slow for the caller's
+//     deadline (the server still did the work — the half-open hazard
+//     again).
 //   - TruncateFrom/TruncateBytes: the response body is cut after
 //     TruncateBytes bytes and the read fails with ErrInjected — a torn
 //     transfer mid-body.
@@ -67,8 +72,18 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 		if d <= 0 {
 			d = time.Millisecond
 		}
-		time.Sleep(d)
 		t.fault()
+		timer := time.NewTimer(d)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			// The caller's deadline beat the network: it never sees the
+			// response the server already produced.
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			return nil, fmt.Errorf("response to %s %s delayed past the caller's deadline: %w", req.Method, req.URL.Path, req.Context().Err())
+		}
 	}
 	if t.DropFrom > 0 && n >= t.DropFrom {
 		// The server already saw and handled the request; only the client's

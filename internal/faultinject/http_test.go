@@ -1,6 +1,7 @@
 package faultinject_test
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net/http"
@@ -113,6 +114,39 @@ func TestTransportDelayDeliversLate(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
 		t.Fatalf("response in %v, want ≥ the injected 30ms delay", elapsed)
+	}
+}
+
+// A delay injected past the client's deadline must surface as the client's
+// own context.DeadlineExceeded — the failure mode deadline-handling code
+// actually sees from a slow network, distinct from a dropped response.
+func TestTransportDelayPastDeadlineExpiresContext(t *testing.T) {
+	tr := &faultinject.Transport{DelayFrom: 1, Delay: 200 * time.Millisecond}
+	client, srv, served := transportClient(t, tr)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		t.Fatal("delayed call succeeded, want the client deadline to expire first")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapped context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed >= 200*time.Millisecond {
+		t.Fatalf("client blocked %v, want release at its own ~20ms deadline, not the full injected delay", elapsed)
+	}
+	// The request still reached the server — like Drop, the delay destroys
+	// only the client's view, so retry logic must tolerate double delivery.
+	if got := served.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1", got)
 	}
 }
 

@@ -1,0 +1,26 @@
+// Package graphiod is the bound-as-a-service layer: a crash-safe HTTP/JSON
+// daemon that accepts computation graphs (uploads or generator specs like
+// "fft:10"), enqueues spectral lower-bound jobs, and serves results
+// asynchronously — engineered for failure first.
+//
+// Durability. Every job is journaled to a WAL (persist.Journal,
+// append-before-effect) before it is admitted, and every terminal
+// transition (done, failed, shed) is journaled before it takes effect, so
+// a daemon SIGKILLed at any instant restarts into a state it had durably
+// announced: jobs accepted but unresolved are re-queued and finish after
+// the restart. Results are content-addressed artifacts keyed by a stable
+// hash over the result-affecting job fields — graph content, M, MaxK,
+// solver — in the style of experiments.Config.Hash, committed atomically
+// and verified by SHA-256 on replay, so a re-submitted identical request
+// is served from the cache with bytes identical to the pre-crash run.
+//
+// Degradation. Jobs run under per-job deadlines on a bounded worker pool;
+// a stalled eigensolve hits its deadline and resolves as a typed
+// "deadline" failure while every other job keeps completing. Solver
+// failures ride the core escalation chain and come back as typed Degraded
+// results, not errors; a job succeeds if at least one bound method
+// produced a certificate. Admission control keeps the daemon alive under
+// load: a full queue answers 429 with Retry-After, each client has an
+// in-flight cap, and memory pressure sheds the lowest-priority queued
+// jobs (typed "shed" outcome — the client may resubmit).
+package graphiod

@@ -1,0 +1,423 @@
+package graphiod
+
+import (
+	"container/heap"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"graphio/internal/graph"
+	"graphio/internal/persist"
+)
+
+// walRecord is one frame in the daemon's job WAL. "accept" carries the full
+// canonical spec so replay needs nothing but the WAL and the content
+// directories; "done"/"fail"/"shed" are terminal transitions referencing
+// the accept by ID. Every record is appended (and fsynced, via
+// persist.Journal) before the transition it describes takes effect.
+type walRecord struct {
+	Kind      string   `json:"kind"` // accept | done | fail | shed
+	ID        string   `json:"id"`
+	Spec      *jobSpec `json:"spec,omitempty"`
+	Priority  int      `json:"priority,omitempty"`
+	Client    string   `json:"client,omitempty"`
+	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+	Cached    bool     `json:"cached,omitempty"`
+	// SHA is the artifact's SHA-256 on "done" records; replay re-hashes the
+	// artifact file and re-queues the job if the bytes do not match.
+	SHA     string `json:"sha,omitempty"`
+	WallMS  int64  `json:"wall_ms,omitempty"`
+	ErrKind string `json:"err_kind,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// store is the daemon's durable heart: the WAL-journaled job table, the
+// priority queue over it, and the content-addressed graph/artifact
+// directories, all rooted in one data dir guarded by a persist lock.
+type store struct {
+	dir  string
+	lock *persist.Lock
+	wal  *persist.Journal
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	queue   jobHeap
+	seq     int
+	nextID  int
+	results map[string]string // cache: job key -> verified artifact SHA-256
+	// replayed counts jobs re-queued from the WAL on open (crash recovery).
+	replayed int
+}
+
+func walPath(dir string) string    { return filepath.Join(dir, "jobs.jsonl") }
+func lockPath(dir string) string   { return filepath.Join(dir, "graphiod.lock") }
+func graphsDir(dir string) string  { return filepath.Join(dir, "graphs") }
+func resultsDir(dir string) string { return filepath.Join(dir, "results") }
+func graphPath(dir, sha string) string {
+	return filepath.Join(graphsDir(dir), sha+".json")
+}
+func artifactPath(dir, key string) string {
+	return filepath.Join(resultsDir(dir), key+".json")
+}
+
+// openStore locks dir, replays the WAL, verifies every completed job's
+// artifact by content hash, and re-queues everything accepted but never
+// durably resolved — the restart half of append-before-effect.
+func openStore(dir string) (*store, error) {
+	if err := os.MkdirAll(graphsDir(dir), 0o755); err != nil {
+		return nil, fmt.Errorf("graphiod: data dir: %w", err)
+	}
+	if err := os.MkdirAll(resultsDir(dir), 0o755); err != nil {
+		return nil, fmt.Errorf("graphiod: data dir: %w", err)
+	}
+	lock, err := persist.AcquireLock(lockPath(dir))
+	if err != nil {
+		return nil, fmt.Errorf("graphiod: %w", err)
+	}
+	if _, err := persist.RemoveStaleTemps(resultsDir(dir)); err != nil {
+		_ = lock.Release()
+		return nil, err
+	}
+	wal, recs, err := persist.OpenJournal(walPath(dir))
+	if err != nil {
+		_ = lock.Release()
+		return nil, fmt.Errorf("graphiod: open WAL: %w", err)
+	}
+	s := &store{
+		dir:     dir,
+		lock:    lock,
+		wal:     wal,
+		jobs:    make(map[string]*job),
+		results: make(map[string]string),
+	}
+	for _, raw := range recs {
+		var rec walRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			// A CRC-valid frame that is not JSON means a writer bug, not a
+			// torn tail; refuse to guess at the queue state.
+			s.close()
+			return nil, fmt.Errorf("graphiod: corrupt WAL record: %w", err)
+		}
+		s.applyReplay(rec)
+	}
+	// Rebuild the run queue from whatever the WAL left unresolved.
+	for _, j := range s.jobs {
+		if j.State == StateQueued {
+			s.replayed++
+			heap.Push(&s.queue, j)
+		}
+	}
+	return s, nil
+}
+
+// applyReplay folds one WAL record into the in-memory job table. Terminal
+// records for unknown IDs are ignored (the accept lived in a torn tail).
+func (s *store) applyReplay(rec walRecord) {
+	switch rec.Kind {
+	case "accept":
+		if rec.Spec == nil {
+			return
+		}
+		j := &job{
+			ID:       rec.ID,
+			Key:      rec.Spec.Key(),
+			Spec:     *rec.Spec,
+			Priority: rec.Priority,
+			Client:   rec.Client,
+			Timeout:  time.Duration(rec.TimeoutMS) * time.Millisecond,
+			seq:      s.seq,
+			State:    StateQueued,
+			Cached:   rec.Cached,
+		}
+		s.seq++
+		if n, err := strconv.Atoi(strings.TrimPrefix(rec.ID, "j")); err == nil && n >= s.nextID {
+			s.nextID = n + 1
+		}
+		s.jobs[j.ID] = j
+	case "done":
+		j, ok := s.jobs[rec.ID]
+		if !ok {
+			return
+		}
+		// Trust, but verify: the artifact must exist with the journaled
+		// hash, or the job runs again. A crash between the artifact rename
+		// and the WAL append leaves a valid orphan artifact; the reverse
+		// order cannot happen (artifact commits before the done record).
+		if s.verifyArtifact(j.Key, rec.SHA) {
+			j.State = StateDone
+			j.ArtifactSHA = rec.SHA
+			j.WallMS = rec.WallMS
+			s.results[j.Key] = rec.SHA
+		}
+	case "fail":
+		if j, ok := s.jobs[rec.ID]; ok {
+			j.State = StateFailed
+			j.ErrKind = rec.ErrKind
+			j.ErrMsg = rec.Error
+			j.WallMS = rec.WallMS
+		}
+	case "shed":
+		if j, ok := s.jobs[rec.ID]; ok {
+			j.State = StateShed
+		}
+	}
+}
+
+func (s *store) verifyArtifact(key, wantSHA string) bool {
+	data, err := os.ReadFile(artifactPath(s.dir, key))
+	if err != nil {
+		return false
+	}
+	return sha256Hex(data) == wantSHA
+}
+
+func (s *store) close() {
+	_ = s.wal.Close()
+	_ = s.lock.Release()
+}
+
+// append journals rec durably; the caller applies the effect only after a
+// nil return (append-before-effect).
+func (s *store) append(rec walRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("graphiod: marshal WAL record: %w", err)
+	}
+	return s.wal.Append(b)
+}
+
+// accept admits a new job: WAL first, then the job table and run queue.
+// When the result cache already holds the key, the job is journaled as
+// accept+done and returned already terminal — the caller serves it
+// immediately and no worker ever sees it.
+func (s *store) accept(spec jobSpec, priority int, client string, timeout time.Duration) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := &job{
+		ID:       fmt.Sprintf("j%06d", s.nextID),
+		Key:      spec.Key(),
+		Spec:     spec,
+		Priority: priority,
+		Client:   client,
+		Timeout:  timeout,
+		seq:      s.seq,
+		State:    StateQueued,
+	}
+	cachedSHA, hit := s.results[j.Key]
+	j.Cached = hit
+	rec := walRecord{
+		Kind: "accept", ID: j.ID, Spec: &spec,
+		Priority: priority, Client: client,
+		TimeoutMS: timeout.Milliseconds(), Cached: hit,
+	}
+	if err := s.append(rec); err != nil {
+		return nil, err
+	}
+	if hit {
+		if err := s.append(walRecord{Kind: "done", ID: j.ID, SHA: cachedSHA}); err != nil {
+			return nil, err
+		}
+		j.State = StateDone
+		j.ArtifactSHA = cachedSHA
+	}
+	s.nextID++
+	s.seq++
+	s.jobs[j.ID] = j
+	if !hit {
+		heap.Push(&s.queue, j)
+	}
+	return j, nil
+}
+
+// next pops the highest-priority queued job and marks it running. Running
+// state is memory-only on purpose: a crash mid-run leaves the WAL at
+// "accept", which is exactly the record that re-queues it on restart.
+func (s *store) next() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.queue.Len() == 0 {
+		return nil
+	}
+	j := heap.Pop(&s.queue).(*job)
+	j.State = StateRunning
+	return j
+}
+
+// complete journals and applies a successful terminal transition.
+func (s *store) complete(j *job, artifactSHA string, wall time.Duration) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wallMS := wall.Milliseconds()
+	if err := s.append(walRecord{Kind: "done", ID: j.ID, SHA: artifactSHA, WallMS: wallMS}); err != nil {
+		return err
+	}
+	j.State = StateDone
+	j.ArtifactSHA = artifactSHA
+	j.WallMS = wallMS
+	s.results[j.Key] = artifactSHA
+	return nil
+}
+
+// fail journals and applies a typed failure.
+func (s *store) fail(j *job, kind, msg string, wall time.Duration) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wallMS := wall.Milliseconds()
+	if err := s.append(walRecord{Kind: "fail", ID: j.ID, ErrKind: kind, Error: msg, WallMS: wallMS}); err != nil {
+		return err
+	}
+	j.State = StateFailed
+	j.ErrKind = kind
+	j.ErrMsg = msg
+	j.WallMS = wallMS
+	return nil
+}
+
+// shedLowest drops the lowest-priority queued job (newest first within a
+// priority) and journals the drop. Returns nil when the queue is empty.
+func (s *store) shedLowest() (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.queue.Len() == 0 {
+		return nil, nil
+	}
+	worst := 0
+	for i := 1; i < s.queue.Len(); i++ {
+		a, b := s.queue[i], s.queue[worst]
+		if a.Priority < b.Priority || (a.Priority == b.Priority && a.seq > b.seq) {
+			worst = i
+		}
+	}
+	j := s.queue[worst]
+	if err := s.append(walRecord{Kind: "shed", ID: j.ID}); err != nil {
+		return nil, err
+	}
+	heap.Remove(&s.queue, worst)
+	j.State = StateShed
+	return j, nil
+}
+
+// depth returns the number of queued (not yet running) jobs.
+func (s *store) depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queue.Len()
+}
+
+// get returns a snapshot of one job's wire info.
+func (s *store) get(id string) (JobInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobInfo{}, false
+	}
+	return j.info(), true
+}
+
+// list returns every job's wire info, in submission order.
+func (s *store) list() []JobInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobInfo, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.info())
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// inFlight counts a client's non-terminal jobs, for per-client admission.
+func (s *store) inFlight(client string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if j.Client == client && (j.State == StateQueued || j.State == StateRunning) {
+			n++
+		}
+	}
+	return n
+}
+
+// cachedSHA returns the verified artifact hash for a key, if completed.
+func (s *store) cachedSHA(key string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sha, ok := s.results[key]
+	return sha, ok
+}
+
+// storeGraph content-addresses an uploaded graph's canonical JSON under
+// graphs/<sha>.json, before the WAL record that references it is appended.
+// Re-uploading identical bytes is a no-op.
+func (s *store) storeGraph(canonical []byte) (string, error) {
+	sha := sha256Hex(canonical)
+	path := graphPath(s.dir, sha)
+	if existing, err := os.ReadFile(path); err == nil && sha256Hex(existing) == sha {
+		return sha, nil
+	}
+	if err := persist.WriteFileAtomic(path, canonical, 0o644); err != nil {
+		return "", fmt.Errorf("graphiod: store graph: %w", err)
+	}
+	return sha, nil
+}
+
+// loadGraph rereads a stored upload and verifies it still hashes to sha.
+func (s *store) loadGraph(sha string) (*graph.Graph, error) {
+	data, err := os.ReadFile(graphPath(s.dir, sha))
+	if err != nil {
+		return nil, fmt.Errorf("graphiod: stored graph %s: %w", sha, err)
+	}
+	if got := sha256Hex(data); got != sha {
+		return nil, fmt.Errorf("graphiod: stored graph %s corrupted (hashes to %s)", sha, got)
+	}
+	g, err := graph.ReadJSONLimit(strings.NewReader(string(data)), int64(len(data))+1)
+	if err != nil {
+		return nil, fmt.Errorf("graphiod: stored graph %s: %w", sha, err)
+	}
+	return g, nil
+}
+
+// commitArtifact durably publishes a result under its cache key and
+// returns the content hash the WAL's done record carries.
+func (s *store) commitArtifact(key string, data []byte) (string, error) {
+	if err := persist.WriteFileAtomic(artifactPath(s.dir, key), data, 0o644); err != nil {
+		return "", fmt.Errorf("graphiod: commit artifact: %w", err)
+	}
+	return sha256Hex(data), nil
+}
+
+// readArtifact returns the raw artifact bytes for a key.
+func (s *store) readArtifact(key string) ([]byte, error) {
+	return os.ReadFile(artifactPath(s.dir, key))
+}
+
+// jobHeap orders queued jobs by (priority desc, admission order asc).
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority > h[j].Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *jobHeap) Push(x interface{}) { *h = append(*h, x.(*job)) }
+
+func (h *jobHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}

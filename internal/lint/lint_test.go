@@ -138,7 +138,11 @@ func TestRuleFixtures(t *testing.T) {
 		{"nopanic", []Rule{NewNoPanic()}},
 		{"nopanicmain", []Rule{NewNoPanic()}}, // package main: zero wants, zero findings
 		{"timenow", []Rule{NewTimeNow()}},
-		{"metricname", []Rule{&MetricName{ObsPath: "fix/obs", Pattern: MetricNamePattern}}},
+		{"metricname", []Rule{&MetricName{
+			ObsPath:  "fix/obs",
+			Pattern:  MetricNamePattern,
+			Families: []string{"metricname.family."},
+		}}},
 		{"errcheck", []Rule{NewErrCheck()}},
 		{"scopedobs", []Rule{&ScopedObs{
 			ObsPath:       "fix/obs",

@@ -3,8 +3,10 @@ package lint
 import (
 	"go/ast"
 	"go/constant"
+	"go/token"
 	"go/types"
 	"regexp"
+	"strings"
 )
 
 // MetricName keeps the obs metric namespace statically enumerable: every
@@ -14,13 +16,22 @@ import (
 // "linalg.matvec_ns" or "core.fallback.total"). cmd/obsreport and the
 // Prometheus /metrics endpoint rely on being able to list every metric the
 // binary can emit by reading the source. Constant expressions fold —
-// "core." + "best" is fine; a name built from a runtime variable is not.
+// "core." + "best" is fine; a name built from a runtime variable is not,
+// with one carve-out: a dynamic name whose constant leading prefix is a
+// declared bounded family ("core.best." + method) is accepted, because the
+// family's members are a small closed set enumerable from the declaring
+// package (solver methods, fallback kinds, job terminal states).
 // The obs package itself and _test.go files are exempt.
 type MetricName struct {
 	// ObsPath is the import path of the metrics package.
 	ObsPath string
 	// Pattern is the convention names must match.
 	Pattern *regexp.Regexp
+	// Families lists the bounded-family prefixes (each ending in ".")
+	// under which a dynamic suffix is allowed. Keep this list short and
+	// each family's member set closed: every entry is namespace the
+	// obsreport enumeration cannot see through.
+	Families []string
 }
 
 // MetricNamePattern is the pkg.name_unit convention: at least two
@@ -28,9 +39,22 @@ type MetricName struct {
 // tails.
 var MetricNamePattern = regexp.MustCompile(`^[a-z][a-z0-9]*(\.[a-z0-9_]+)+$`)
 
+// MetricFamilies are the repo's declared bounded families: dynamic metric
+// names are legal only under these prefixes. Members are closed sets —
+// bound methods (core/best.go), escalation fallback kinds (core/core.go),
+// the experiments runner registry (experiments/runall.go), and graphiod's
+// job failure kinds (graphiod/job.go).
+var MetricFamilies = []string{
+	"core.best.",
+	"core.fallback.",
+	"experiments.",
+	"serve.fail.",
+	"serve.jobs.",
+}
+
 // NewMetricName returns the rule bound to graphio/internal/obs.
 func NewMetricName() *MetricName {
-	return &MetricName{ObsPath: "graphio/internal/obs", Pattern: MetricNamePattern}
+	return &MetricName{ObsPath: "graphio/internal/obs", Pattern: MetricNamePattern, Families: MetricFamilies}
 }
 
 func (*MetricName) Name() string { return "metric-name" }
@@ -77,7 +101,10 @@ func (r *MetricName) Check(p *Package, report Reporter) {
 			}
 			tv, ok := p.Info.Types[call.Args[idx]]
 			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
-				report(call.Pos(), "obs.%s metric name must be a compile-time string constant so cmd/obsreport can enumerate it", name)
+				if prefix, ok := r.constPrefix(p, call.Args[idx]); ok && r.family(prefix) {
+					return true // dynamic suffix under a declared bounded family
+				}
+				report(call.Pos(), "obs.%s metric name must be a compile-time string constant (or a declared bounded family prefix + suffix) so cmd/obsreport can enumerate it", name)
 				return true
 			}
 			metric := constant.StringVal(tv.Value)
@@ -87,6 +114,32 @@ func (r *MetricName) Check(p *Package, report Reporter) {
 			return true
 		})
 	}
+}
+
+// constPrefix returns the longest constant-folded leading prefix of a
+// string concatenation: for `"serve.fail." + kind` it folds the left
+// operand; a fully constant expression never reaches here (the caller
+// already accepted it).
+func (r *MetricName) constPrefix(p *Package, e ast.Expr) (string, bool) {
+	if tv, ok := p.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	if be, ok := e.(*ast.BinaryExpr); ok && be.Op == token.ADD {
+		return r.constPrefix(p, be.X)
+	}
+	return "", false
+}
+
+// family reports whether prefix exactly names a declared bounded family.
+// Exact match, not HasPrefix: "serve.fail" + kind would silently merge two
+// namespaces, and "serve.fail.x." + kind would hide a new family.
+func (r *MetricName) family(prefix string) bool {
+	for _, f := range r.Families {
+		if prefix == f && strings.HasSuffix(f, ".") {
+			return true
+		}
+	}
+	return false
 }
 
 // metricCall reports whether call targets an obs metric entry point —

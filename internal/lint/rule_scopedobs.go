@@ -41,6 +41,7 @@ func NewScopedObs() *ScopedObs {
 			"graphio/internal/pebble",
 			"graphio/internal/redblue",
 			"graphio/internal/experiments",
+			"graphio/internal/graphiod",
 		},
 		DefaultExempt: []string{
 			"graphio/internal/obs",

@@ -35,6 +35,17 @@ func Use(name string, reg *obs.Registry) {
 	obs.StartSpan(name) // span names are free-form: clean
 }
 
+// UseFamily covers the bounded-family carve-out: a dynamic suffix under a
+// declared family prefix is clean; anything else dynamic is not.
+func UseFamily(kind string, reg *obs.Registry) {
+	obs.Inc("metricname.family." + kind)       // declared family: clean
+	reg.Inc("metricname.family." + kind)       // methods get the carve-out too: clean
+	obs.Inc("metricname.other." + kind)        // want `obs.Inc metric name must be a compile-time string constant`
+	obs.Inc("metricname.family" + kind)        // want `obs.Inc metric name must be a compile-time string constant`
+	obs.Inc(kind + "metricname.family.")       // want `obs.Inc metric name must be a compile-time string constant`
+	obs.Inc("metricname.family." + kind + "x") // left-leaning fold still finds the family: clean
+}
+
 // UseCtx covers the context-scoped variants: the metric name moves to
 // argument index 1, after the ctx.
 func UseCtx(ctx context.Context, name string) {

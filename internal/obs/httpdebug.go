@@ -30,17 +30,7 @@ func StartDebugServer(addr string) (stop func() error, boundAddr string, err err
 	if err != nil {
 		return nil, "", fmt.Errorf("obs: debug server: %w", err)
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/metrics", handleMetrics)
-	mux.HandleFunc("/progress", handleProgress)
-	mux.HandleFunc("/tasks", handleTasks)
-	mux.HandleFunc("/", handleIndex)
-	srv := &http.Server{Handler: mux}
+	srv := &http.Server{Handler: DebugHandler()}
 	go srv.Serve(ln) //lint:ignore errcheck Serve returns ErrServerClosed when StopDebugServer closes the listener, by design
 	debugTrackRef(+1)
 	stopped := false
@@ -52,6 +42,25 @@ func StartDebugServer(addr string) (stop func() error, boundAddr string, err err
 		debugTrackRef(-1)
 		return srv.Close()
 	}, ln.Addr().String(), nil
+}
+
+// DebugHandler returns the debug endpoints as a mountable http.Handler:
+// /metrics (Prometheus text), /progress (open spans JSON), /tasks (live
+// scope tree JSON), /debug/pprof/* (runtime profiles), and an index at /.
+// StartDebugServer serves exactly this handler; daemons with their own
+// listener (cmd/graphiod) mount it next to their API routes instead.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", handleMetrics)
+	mux.HandleFunc("/progress", handleProgress)
+	mux.HandleFunc("/tasks", handleTasks)
+	mux.HandleFunc("/", handleIndex)
+	return mux
 }
 
 func handleIndex(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,164 @@
+#!/bin/sh
+# Chaos gate for the bound daemon (make verify-graphiod).
+#
+# A graphiod on a fresh data dir accepts a batch of jobs and is SIGKILLed
+# with most of them unfinished. A second daemon on the same -data dir must
+# replay the WAL, finish every accepted job, and serve a resubmission of
+# the same work from the result cache with a byte-identical artifact
+# (matched by content hash). A job submitted with an unmeetable deadline
+# must fail typed 'deadline' while its siblings complete, bearer auth must
+# gate the API end to end, and a SIGTERM must drain cleanly (exit 0).
+# Run from the repository root.
+set -eu
+
+TOKEN=verify-secret
+work=$(mktemp -d)
+pids=""
+cleanup() {
+    for p in $pids; do kill -9 "$p" 2>/dev/null || true; done
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+# wait_line FILE PATTERN PID: poll FILE until PATTERN appears, failing
+# fast if process PID dies first (its logs are the diagnosis).
+wait_line() {
+    i=0
+    while ! grep -q "$2" "$1" 2>/dev/null; do
+        if ! kill -0 "$3" 2>/dev/null; then
+            echo "verify-graphiod: process $3 died before '$2' appeared in $1:" >&2
+            cat "$1" >&2
+            exit 1
+        fi
+        i=$((i + 1))
+        if [ "$i" -gt 300 ]; then
+            echo "verify-graphiod: timed out waiting for '$2' in $1" >&2
+            cat "$1" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+echo "verify-graphiod: building cmd/graphiod"
+go build -o "$work/graphiod" ./cmd/graphiod
+
+echo "verify-graphiod: starting daemon 1 (1 worker, auth on)"
+GRAPHIO_TOKEN=$TOKEN "$work/graphiod" -data "$work/data" -addr 127.0.0.1:0 \
+    -workers 1 >"$work/d1.log" 2>&1 &
+d1=$!
+pids="$pids $d1"
+wait_line "$work/d1.log" "^graphiod listening on " "$d1"
+addr=$(sed -n 's/^graphiod listening on //p' "$work/d1.log" | head -n 1)
+server="http://$addr"
+echo "verify-graphiod: daemon 1 bound to $addr"
+
+echo "verify-graphiod: unauthenticated requests must be rejected"
+code=$(curl -s -o /dev/null -w '%{http_code}' "$server/v1/jobs")
+if [ "$code" != "401" ]; then
+    echo "verify-graphiod: tokenless GET /v1/jobs returned $code, want 401" >&2
+    exit 1
+fi
+code=$(curl -s -o /dev/null -w '%{http_code}' "$server/healthz")
+if [ "$code" != "200" ]; then
+    echo "verify-graphiod: /healthz returned $code, want 200 without a token" >&2
+    exit 1
+fi
+
+echo "verify-graphiod: submitting jobs (first one slow enough to be mid-flight at the kill)"
+submit() {
+    GRAPHIO_TOKEN=$TOKEN "$work/graphiod" submit -server "$server" "$@"
+}
+submit -spec fft:8 -m 64 >"$work/sub1" # n=2304: iterative solve, takes a while
+submit -spec bhk:6 -m 1 -max-k 8 -solver dense >"$work/sub2"
+submit -spec fft:5 -m 16 -max-k 8 -solver dense >"$work/sub3"
+cat "$work/sub1" "$work/sub2" "$work/sub3"
+id1=$(sed -n 's/^id=\([^ ]*\).*/\1/p' "$work/sub1")
+id2=$(sed -n 's/^id=\([^ ]*\).*/\1/p' "$work/sub2")
+id3=$(sed -n 's/^id=\([^ ]*\).*/\1/p' "$work/sub3")
+
+echo "verify-graphiod: SIGKILLing daemon 1 with jobs unfinished"
+kill -9 "$d1"
+wait "$d1" 2>/dev/null || true
+
+echo "verify-graphiod: restarting on the same -data dir"
+GRAPHIO_TOKEN=$TOKEN "$work/graphiod" -data "$work/data" -addr 127.0.0.1:0 \
+    -workers 2 >"$work/d2.log" 2>&1 &
+d2=$!
+pids="$pids $d2"
+wait_line "$work/d2.log" "^graphiod listening on " "$d2"
+addr=$(sed -n 's/^graphiod listening on //p' "$work/d2.log" | head -n 1)
+server="http://$addr"
+if ! grep -q "recovered .* unresolved job" "$work/d2.log"; then
+    echo "verify-graphiod: daemon 2 did not report a WAL replay:" >&2
+    cat "$work/d2.log" >&2
+    exit 1
+fi
+
+echo "verify-graphiod: waiting for the replayed jobs to finish"
+GRAPHIO_TOKEN=$TOKEN "$work/graphiod" wait -server "$server" \
+    -id "$id1,$id2,$id3" -timeout 3m >"$work/wait1"
+cat "$work/wait1"
+for id in "$id1" "$id2" "$id3"; do
+    if ! grep -q "^id=$id .*status=done" "$work/wait1"; then
+        echo "verify-graphiod: replayed job $id did not finish done" >&2
+        exit 1
+    fi
+done
+
+echo "verify-graphiod: resubmitting job 2 must be a byte-identical cache hit"
+sha_done=$(sed -n "s/^id=$id2 .* sha=\([0-9a-f]*\).*/\1/p" "$work/wait1")
+submit -spec bhk:6 -m 1 -max-k 8 -solver dense >"$work/resub"
+cat "$work/resub"
+if ! grep -q "cached=true" "$work/resub"; then
+    echo "verify-graphiod: resubmission was not served from the cache" >&2
+    exit 1
+fi
+sha_hit=$(sed -n 's/^id=[^ ]* .* sha=\([0-9a-f]*\).*/\1/p' "$work/resub")
+if [ -z "$sha_done" ] || [ "$sha_done" != "$sha_hit" ]; then
+    echo "verify-graphiod: cache hit sha '$sha_hit' != recomputed sha '$sha_done'" >&2
+    exit 1
+fi
+
+echo "verify-graphiod: a stalled job must fail typed 'deadline' while a sibling completes"
+submit -spec fft:9 -m 64 -timeout-ms 300 >"$work/sub4" # n=5120: cannot finish in 300ms
+submit -spec fft:4 -m 8 -max-k 8 -solver dense >"$work/sub5"
+id4=$(sed -n 's/^id=\([^ ]*\).*/\1/p' "$work/sub4")
+id5=$(sed -n 's/^id=\([^ ]*\).*/\1/p' "$work/sub5")
+set +e
+GRAPHIO_TOKEN=$TOKEN "$work/graphiod" wait -server "$server" \
+    -id "$id4,$id5" -timeout 2m >"$work/wait2"
+set -e
+cat "$work/wait2"
+if ! grep -q "^id=$id4 .*status=failed.*error=deadline" "$work/wait2"; then
+    echo "verify-graphiod: over-deadline job $id4 did not fail typed 'deadline'" >&2
+    exit 1
+fi
+if ! grep -q "^id=$id5 .*status=done" "$work/wait2"; then
+    echo "verify-graphiod: sibling job $id5 did not complete past the stalled one" >&2
+    exit 1
+fi
+
+echo "verify-graphiod: /metrics must expose the serve counters"
+GRAPHIO_TOKEN=$TOKEN "$work/graphiod" metrics -server "$server" >"$work/metrics"
+for m in serve_jobs_accepted serve_jobs_done serve_jobs_replayed serve_cache_hits; do
+    if ! grep -q "^$m " "$work/metrics"; then
+        echo "verify-graphiod: metric $m missing from /metrics" >&2
+        cat "$work/metrics" >&2
+        exit 1
+    fi
+done
+
+echo "verify-graphiod: SIGTERM must drain cleanly (exit 0)"
+kill -TERM "$d2"
+set +e
+wait "$d2"
+status=$?
+set -e
+if [ "$status" -ne 0 ]; then
+    echo "verify-graphiod: drained daemon exited $status (want 0):" >&2
+    cat "$work/d2.log" >&2
+    exit 1
+fi
+
+echo "verify-graphiod: OK (WAL replay finished every job, cache replays byte-identical, deadlines typed, drain clean)"

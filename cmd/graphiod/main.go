@@ -54,6 +54,8 @@ func serve() int {
 	workers := flag.Int("workers", 2, "bound-computation worker pool size")
 	queueCap := flag.Int("queue-cap", 256, "max queued jobs before submissions get 429 + Retry-After")
 	clientCap := flag.Int("client-inflight", 16, "max queued+running jobs per client")
+	hostCap := flag.Int("host-inflight", 0, "max queued+running jobs per remote address, across client names (0 = 4x -client-inflight)")
+	retainJobs := flag.Int("retain-jobs", 4096, "terminal jobs kept in the status table and the compacted WAL; the oldest beyond this are forgotten (their cached artifacts survive)")
 	maxGraphBytes := flag.Int64("max-graph-bytes", graph.DefaultReadLimit, "uploaded graph JSON size cap; larger uploads get a structured 413")
 	maxVertices := flag.Int("max-vertices", 1<<22, "vertex cap for generated and uploaded graphs")
 	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "default per-job deadline; a stalled solve fails typed 'deadline' at this point")
@@ -84,6 +86,8 @@ func serve() int {
 		Workers:        *workers,
 		QueueCap:       *queueCap,
 		ClientInFlight: *clientCap,
+		HostInFlight:   *hostCap,
+		RetainJobs:     *retainJobs,
 		MaxGraphBytes:  *maxGraphBytes,
 		MaxVertices:    *maxVertices,
 		DefaultTimeout: *jobTimeout,

@@ -21,6 +21,15 @@
 // results, not errors; a job succeeds if at least one bound method
 // produced a certificate. Admission control keeps the daemon alive under
 // load: a full queue answers 429 with Retry-After, each client has an
-// in-flight cap, and memory pressure sheds the lowest-priority queued
-// jobs (typed "shed" outcome — the client may resubmit).
+// in-flight cap (backstopped by a per-address cap, since the client name
+// is request-supplied), the caps are enforced atomically with acceptance,
+// and memory pressure sheds the lowest-priority queued jobs, one per
+// check (typed "shed" outcome — the client may resubmit).
+//
+// Bounded state. Result keys are validated against the SHA-256 hex shape
+// before they ever form a filesystem path, terminal job rows beyond a
+// retention cap are pruned (their cached artifacts survive), and the WAL
+// periodically compacts to live state — result-cache index, retained
+// jobs, ID counter — so replay time and memory track live work, not the
+// daemon's lifetime job count.
 package graphiod

@@ -3,7 +3,6 @@ package graphiod
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -115,11 +114,16 @@ func (srv *Server) runJob(baseCtx context.Context, j *job) {
 		N: g.N(), M: j.Spec.M, MaxK: j.Spec.MaxK, Solver: j.Spec.Solver,
 	}
 	// Fixed method order keeps the artifact bytes stable run to run.
+	// truncated marks a method the deadline (or shutdown) actually cut
+	// short — jctx expiring *after* a method returned cleanly must not
+	// discard that method's finished work, so expiry alone is not enough.
+	truncated := false
 	for _, method := range []string{"theorem4", "theorem5"} {
 		mr := runMethod(jctx, g, j.Spec, method, wrap)
-		if jctx.Err() != nil {
-			// Deadline or shutdown, classified below; partial artifacts are
-			// never committed.
+		if jctx.Err() != nil && mr.Error != "" {
+			// The clock ran out mid-method; its result certifies nothing
+			// and partial artifacts are never committed.
+			truncated = true
 			break
 		}
 		art.Methods = append(art.Methods, mr)
@@ -132,13 +136,13 @@ func (srv *Server) runJob(baseCtx context.Context, j *job) {
 	}
 	wall := obs.Since(start)
 
-	if baseCtx.Err() != nil {
-		// Shutdown took the worker down mid-job. No terminal WAL record:
-		// the accept record re-queues this job on the next start.
-		scope.Inc("serve.jobs.interrupted")
-		return
-	}
-	if errors.Is(jctx.Err(), context.DeadlineExceeded) {
+	if truncated {
+		if baseCtx.Err() != nil {
+			// Shutdown took the worker down mid-job. No terminal WAL record:
+			// the accept record re-queues this job on the next start.
+			scope.Inc("serve.jobs.interrupted")
+			return
+		}
 		srv.finishJob(baseCtx, j, KindDeadline,
 			fmt.Sprintf("job exceeded its %v deadline (solver stalled or graph too large for the budget)", j.Timeout), wall)
 		return

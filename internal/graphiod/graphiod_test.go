@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -626,6 +627,179 @@ func TestJobAndResultEndpoints(t *testing.T) {
 		if resp.StatusCode != http.StatusNotFound {
 			t.Fatalf("GET missing job = %d, want 404", resp.StatusCode)
 		}
+	}
+}
+
+// A result key is a URL path segment the client controls; anything that is
+// not a SHA-256 hex digest — in particular "../" traversals aimed at JSON
+// files outside the results dir — must 404 without touching the filesystem.
+func TestResultKeyTraversalRejected(t *testing.T) {
+	dir := t.TempDir()
+	srv, url := newTestServer(t, Config{DataDir: dir, Workers: 1})
+	// A decoy the traversal would reach if the key went straight into
+	// filepath.Join: data dir root, one level above results/.
+	//lint:ignore persist-writes planting a traversal decoy, not a durable artifact
+	if err := os.WriteFile(dir+"/secret.json", []byte(`{"leak":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"..%2Fsecret",
+		"..%2F..%2Fsecret",
+		"%2E%2E%2Fsecret",
+		"not-a-key",
+		strings.Repeat("a", 63),
+		strings.Repeat("A", 64), // uppercase hex is not a key either
+	} {
+		resp, err := http.Get(url + "/v1/results/" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := new(bytes.Buffer)
+		_, _ = body.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET /v1/results/%s = %d, want 404", key, resp.StatusCode)
+		}
+		if strings.Contains(body.String(), "leak") {
+			t.Fatalf("GET /v1/results/%s leaked a file outside the results dir", key)
+		}
+	}
+	// Defense in depth: the store rejects malformed keys even when called
+	// directly, so no future endpoint can reintroduce the traversal.
+	if _, err := srv.store.readArtifact("../secret"); err == nil {
+		t.Fatal("store.readArtifact accepted a traversal key")
+	}
+	if _, err := srv.store.loadGraph("../secret"); err == nil {
+		t.Fatal("store.loadGraph accepted a traversal hash")
+	}
+}
+
+// freshLimits returns admission caps high enough to never trip, for tests
+// exercising other store behavior.
+func freshLimits() admitLimits {
+	return admitLimits{ClientInFlight: 1 << 20, HostInFlight: 1 << 20, QueueCap: 1 << 20}
+}
+
+// The WAL and the job table must stay proportional to live state, not to
+// every job ever accepted: terminal jobs past the retention cap are pruned,
+// the journal compacts after enough appends, and a compacted journal still
+// replays the result cache and never reissues a pruned job's ID.
+func TestWALCompactionBoundsJournalAndJobTable(t *testing.T) {
+	dir := t.TempDir()
+	s, err := openStore(dir, 4, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.compactEvery = 8
+	spec := jobSpec{V: 1, Spec: "chain:4", M: 2, MaxK: 1, Solver: "dense"}
+	artifact := []byte(`{"fake":"artifact"}`)
+	var lastID string
+	for i := 0; i < 50; i++ {
+		j, err := s.accept(spec, 0, "c", "h", time.Second, freshLimits())
+		if err != nil {
+			t.Fatalf("accept %d: %v", i, err)
+		}
+		lastID = j.ID
+		if j.Cached {
+			continue
+		}
+		if got := s.next(); got == nil || got.ID != j.ID {
+			t.Fatalf("accept %d: job not queued", i)
+		}
+		sha, err := s.commitArtifact(j.Key, artifact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.complete(j, sha, time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(s.list()); n > 4 {
+		t.Fatalf("job table holds %d terminal jobs, want ≤ retain (4)", n)
+	}
+	recs, err := persist.ReadJournal(walPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Live state is ~10 records (meta + 1 result + ≤4 jobs × 2); anything
+	// near the 100 appends means compaction never ran.
+	if len(recs) > s.liveRecordsLocked()+s.compactEvery {
+		t.Fatalf("WAL holds %d records after 50 jobs, want ≤ live+compactEvery (%d)", len(recs), s.liveRecordsLocked()+s.compactEvery)
+	}
+	wantSHA, ok := s.cachedSHA(spec.Key())
+	if !ok {
+		t.Fatal("result cache lost the completed key")
+	}
+	s.close()
+
+	// Reopen: the compacted journal must replay the cache (resubmission is
+	// an immediate hit) and the meta record must keep IDs monotonic even
+	// though every prior job row was pruned.
+	s2, err := openStore(dir, 4, t.Logf)
+	if err != nil {
+		t.Fatalf("reopen compacted WAL: %v", err)
+	}
+	defer s2.close()
+	if sha, ok := s2.cachedSHA(spec.Key()); !ok || sha != wantSHA {
+		t.Fatalf("reopened cache = %q, %v; want %q", sha, ok, wantSHA)
+	}
+	j, err := s2.accept(spec, 0, "c", "h", time.Second, freshLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Cached {
+		t.Fatalf("resubmit after reopen = %+v, want cache hit", j)
+	}
+	if j.ID <= lastID {
+		t.Fatalf("job ID %s reissued at or below pruned ID %s; meta record lost the counter", j.ID, lastID)
+	}
+}
+
+// Admission caps are enforced atomically with acceptance: N racing
+// submissions against a queue with room for one must admit exactly one.
+func TestAdmissionAtomicUnderConcurrency(t *testing.T) {
+	dir := t.TempDir()
+	s, err := openStore(dir, 0, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+	lim := admitLimits{ClientInFlight: 64, HostInFlight: 64, QueueCap: 1}
+	var admitted, rejected atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			spec := jobSpec{V: 1, Spec: fmt.Sprintf("chain:%d", i+2), M: 2, MaxK: 1, Solver: "dense"}
+			if _, err := s.accept(spec, 0, "c", "h", time.Second, lim); err == nil {
+				admitted.Add(1)
+			} else {
+				rejected.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if admitted.Load() != 1 || rejected.Load() != 15 {
+		t.Fatalf("QueueCap=1 admitted %d of 16 concurrent submissions, want exactly 1", admitted.Load())
+	}
+}
+
+// The per-client cap keys off a request-supplied string; the per-host cap
+// backstops it so varying that string cannot buy unbounded queue share.
+func TestHostCapStopsClientNameBypass(t *testing.T) {
+	srv, url := newTestServer(t, Config{
+		Workers: 1, ClientInFlight: 1, HostInFlight: 3,
+		WrapOperator: stallWrap(30 * time.Millisecond),
+	})
+	running := submit(t, url, JobRequest{Spec: "chain:48", M: 8, MaxK: 4, Solver: "lanczos", Client: "alias-0"}, http.StatusAccepted)
+	waitState(t, srv, running.ID, StateRunning)
+	for i := 1; i < 3; i++ {
+		submit(t, url, JobRequest{Spec: fmt.Sprintf("chain:%d", 20+i), M: 8, MaxK: 4, Solver: "lanczos", Client: fmt.Sprintf("alias-%d", i)}, http.StatusAccepted)
+	}
+	status, fields := submitRaw(t, url, "", JobRequest{Spec: "chain:28", M: 8, MaxK: 4, Client: "alias-3"})
+	if f := faultOf(t, fields); status != http.StatusTooManyRequests || f.Kind != "host_limit" {
+		t.Fatalf("4th client alias from one address = %d %+v, want 429 host_limit", status, f)
 	}
 }
 

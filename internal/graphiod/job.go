@@ -205,8 +205,12 @@ type job struct {
 	Spec     jobSpec
 	Priority int
 	Client   string
-	Timeout  time.Duration
-	seq      int // admission order; FIFO tiebreak within a priority
+	// Host is the submitter's remote address, kept separately from the
+	// request-supplied Client so per-address admission caps cannot be
+	// dodged by varying the client string.
+	Host    string
+	Timeout time.Duration
+	seq     int // admission order; FIFO tiebreak within a priority
 
 	State       string
 	Cached      bool
@@ -275,4 +279,21 @@ func sortedStrings(s []string) []string {
 func sha256Hex(b []byte) string {
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])
+}
+
+// isContentKey reports whether s has the only shape job keys and graph
+// hashes ever take: a lowercase-hex SHA-256 digest. Everything that turns a
+// client-supplied key into a filesystem path must check this first — a key
+// like "../secrets" would otherwise escape the data dir via filepath.Join.
+func isContentKey(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }

@@ -1,6 +1,7 @@
 package graphiod
 
 import (
+	"bytes"
 	"container/heap"
 	"encoding/json"
 	"fmt"
@@ -21,12 +22,16 @@ import (
 // directories; "done"/"fail"/"shed" are terminal transitions referencing
 // the accept by ID. Every record is appended (and fsynced, via
 // persist.Journal) before the transition it describes takes effect.
+// Compaction adds two snapshot kinds: "result" pins one result-cache entry
+// (key → artifact hash) independent of any job, and "meta" pins the ID
+// counter so pruned jobs' IDs are never reissued after a restart.
 type walRecord struct {
-	Kind      string   `json:"kind"` // accept | done | fail | shed
-	ID        string   `json:"id"`
+	Kind      string   `json:"kind"` // accept | done | fail | shed | result | meta
+	ID        string   `json:"id,omitempty"`
 	Spec      *jobSpec `json:"spec,omitempty"`
 	Priority  int      `json:"priority,omitempty"`
 	Client    string   `json:"client,omitempty"`
+	Host      string   `json:"host,omitempty"`
 	TimeoutMS int64    `json:"timeout_ms,omitempty"`
 	Cached    bool     `json:"cached,omitempty"`
 	// SHA is the artifact's SHA-256 on "done" records; replay re-hashes the
@@ -35,6 +40,10 @@ type walRecord struct {
 	WallMS  int64  `json:"wall_ms,omitempty"`
 	ErrKind string `json:"err_kind,omitempty"`
 	Error   string `json:"error,omitempty"`
+	// Key is the cache key a "result" snapshot record pins.
+	Key string `json:"key,omitempty"`
+	// NextID is the ID counter a "meta" snapshot record pins.
+	NextID int `json:"next_id,omitempty"`
 }
 
 // store is the daemon's durable heart: the WAL-journaled job table, the
@@ -44,6 +53,7 @@ type store struct {
 	dir  string
 	lock *persist.Lock
 	wal  *persist.Journal
+	logf func(format string, args ...interface{})
 
 	mu      sync.Mutex
 	jobs    map[string]*job
@@ -53,6 +63,15 @@ type store struct {
 	results map[string]string // cache: job key -> verified artifact SHA-256
 	// replayed counts jobs re-queued from the WAL on open (crash recovery).
 	replayed int
+	// retain bounds the terminal jobs kept in the job table (and hence the
+	// WAL after compaction); the oldest beyond it are pruned. Their
+	// artifacts and result-cache entries survive — only the status row goes.
+	retain int
+	// compactEvery triggers a WAL rewrite after that many appends, so the
+	// journal (and restart replay time) stays proportional to live state,
+	// not to every job ever accepted.
+	compactEvery     int
+	recsSinceCompact int
 }
 
 func walPath(dir string) string    { return filepath.Join(dir, "jobs.jsonl") }
@@ -66,10 +85,16 @@ func artifactPath(dir, key string) string {
 	return filepath.Join(resultsDir(dir), key+".json")
 }
 
+// walCompactSlack is how many dead WAL records openStore tolerates before
+// rewriting the journal on open (appends during a run are governed by
+// compactEvery instead).
+const walCompactSlack = 64
+
 // openStore locks dir, replays the WAL, verifies every completed job's
 // artifact by content hash, and re-queues everything accepted but never
-// durably resolved — the restart half of append-before-effect.
-func openStore(dir string) (*store, error) {
+// durably resolved — the restart half of append-before-effect. retain
+// bounds the terminal jobs kept (≤ 0 means a default); logf may be nil.
+func openStore(dir string, retain int, logf func(format string, args ...interface{})) (*store, error) {
 	if err := os.MkdirAll(graphsDir(dir), 0o755); err != nil {
 		return nil, fmt.Errorf("graphiod: data dir: %w", err)
 	}
@@ -89,12 +114,21 @@ func openStore(dir string) (*store, error) {
 		_ = lock.Release()
 		return nil, fmt.Errorf("graphiod: open WAL: %w", err)
 	}
+	if retain <= 0 {
+		retain = 4096
+	}
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
 	s := &store{
-		dir:     dir,
-		lock:    lock,
-		wal:     wal,
-		jobs:    make(map[string]*job),
-		results: make(map[string]string),
+		dir:          dir,
+		lock:         lock,
+		wal:          wal,
+		logf:         logf,
+		jobs:         make(map[string]*job),
+		results:      make(map[string]string),
+		retain:       retain,
+		compactEvery: 1024,
 	}
 	for _, raw := range recs {
 		var rec walRecord
@@ -111,6 +145,16 @@ func openStore(dir string) (*store, error) {
 		if j.State == StateQueued {
 			s.replayed++
 			heap.Push(&s.queue, j)
+		}
+	}
+	// A WAL dominated by dead records (terminal jobs past retention, stale
+	// cache entries) is rewritten to live state before serving, so replay
+	// cost stays bounded across restarts.
+	s.pruneLocked()
+	if len(recs) > s.liveRecordsLocked()+walCompactSlack {
+		if err := s.compactLocked(); err != nil {
+			s.close()
+			return nil, err
 		}
 	}
 	return s, nil
@@ -130,6 +174,7 @@ func (s *store) applyReplay(rec walRecord) {
 			Spec:     *rec.Spec,
 			Priority: rec.Priority,
 			Client:   rec.Client,
+			Host:     rec.Host,
 			Timeout:  time.Duration(rec.TimeoutMS) * time.Millisecond,
 			seq:      s.seq,
 			State:    StateQueued,
@@ -166,11 +211,21 @@ func (s *store) applyReplay(rec walRecord) {
 		if j, ok := s.jobs[rec.ID]; ok {
 			j.State = StateShed
 		}
+	case "result":
+		// Compaction snapshot of one result-cache entry; same trust-but-
+		// verify rule as "done" records.
+		if s.verifyArtifact(rec.Key, rec.SHA) {
+			s.results[rec.Key] = rec.SHA
+		}
+	case "meta":
+		if rec.NextID > s.nextID {
+			s.nextID = rec.NextID
+		}
 	}
 }
 
 func (s *store) verifyArtifact(key, wantSHA string) bool {
-	data, err := os.ReadFile(artifactPath(s.dir, key))
+	data, err := s.readArtifact(key)
 	if err != nil {
 		return false
 	}
@@ -183,20 +238,86 @@ func (s *store) close() {
 }
 
 // append journals rec durably; the caller applies the effect only after a
-// nil return (append-before-effect).
+// nil return (append-before-effect). Callers hold s.mu.
 func (s *store) append(rec walRecord) error {
 	b, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("graphiod: marshal WAL record: %w", err)
 	}
-	return s.wal.Append(b)
+	if err := s.wal.Append(b); err != nil {
+		return err
+	}
+	s.recsSinceCompact++
+	return nil
 }
 
-// accept admits a new job: WAL first, then the job table and run queue.
-// When the result cache already holds the key, the job is journaled as
-// accept+done and returned already terminal — the caller serves it
-// immediately and no worker ever sees it.
-func (s *store) accept(spec jobSpec, priority int, client string, timeout time.Duration) (*job, error) {
+// admitLimits are the admission caps accept enforces atomically with the
+// acceptance itself, so concurrent submissions cannot overshoot them. A
+// cap ≤ 0 is unenforced.
+type admitLimits struct {
+	// ClientInFlight caps one client name's queued+running jobs.
+	ClientInFlight int
+	// HostInFlight caps one remote address's queued+running jobs across
+	// every client name it claims — the client field is request-supplied,
+	// so without this a submitter could dodge its cap by varying it.
+	HostInFlight int
+	// QueueCap caps queued (not yet running) jobs.
+	QueueCap int
+}
+
+// admitError is a typed admission rejection; the HTTP layer maps it to a
+// structured 429 with the Retry-After hint.
+type admitError struct {
+	Fault      Fault
+	RetryAfter int
+}
+
+func (e *admitError) Error() string { return "graphiod: " + e.Fault.Message }
+
+// admitLocked checks the caps for one prospective job. Caller holds s.mu.
+func (s *store) admitLocked(client, host string, lim admitLimits) error {
+	clientN, hostN := 0, 0
+	for _, j := range s.jobs {
+		if j.State != StateQueued && j.State != StateRunning {
+			continue
+		}
+		if j.Client == client {
+			clientN++
+		}
+		if host != "" && j.Host == host {
+			hostN++
+		}
+	}
+	// Per-client cap first: a hogging client must not be able to convert
+	// its own backlog into queue_full 429s for everyone.
+	if lim.ClientInFlight > 0 && clientN >= lim.ClientInFlight {
+		return &admitError{RetryAfter: 10, Fault: Fault{
+			Kind: "client_limit", Limit: int64(lim.ClientInFlight),
+			Message: fmt.Sprintf("client %q already has %d jobs in flight", client, clientN),
+		}}
+	}
+	if lim.HostInFlight > 0 && host != "" && hostN >= lim.HostInFlight {
+		return &admitError{RetryAfter: 10, Fault: Fault{
+			Kind: "host_limit", Limit: int64(lim.HostInFlight),
+			Message: fmt.Sprintf("address %q already has %d jobs in flight", host, hostN),
+		}}
+	}
+	if lim.QueueCap > 0 && s.queue.Len() >= lim.QueueCap {
+		return &admitError{RetryAfter: 30, Fault: Fault{
+			Kind: "queue_full", Limit: int64(lim.QueueCap),
+			Message: fmt.Sprintf("queue at capacity (%d jobs)", s.queue.Len()),
+		}}
+	}
+	return nil
+}
+
+// accept admits a new job: admission caps, then WAL, then the job table and
+// run queue, all under one lock acquisition so N racing submissions cannot
+// collectively overshoot the caps. When the result cache already holds the
+// key, the job is journaled as accept+done and returned already terminal —
+// the caller serves it immediately, no worker ever sees it, and the caps
+// are not charged (a cache hit consumes no queue or solver capacity).
+func (s *store) accept(spec jobSpec, priority int, client, host string, timeout time.Duration, lim admitLimits) (*job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j := &job{
@@ -205,15 +326,21 @@ func (s *store) accept(spec jobSpec, priority int, client string, timeout time.D
 		Spec:     spec,
 		Priority: priority,
 		Client:   client,
+		Host:     host,
 		Timeout:  timeout,
 		seq:      s.seq,
 		State:    StateQueued,
 	}
 	cachedSHA, hit := s.results[j.Key]
 	j.Cached = hit
+	if !hit {
+		if err := s.admitLocked(client, host, lim); err != nil {
+			return nil, err
+		}
+	}
 	rec := walRecord{
 		Kind: "accept", ID: j.ID, Spec: &spec,
-		Priority: priority, Client: client,
+		Priority: priority, Client: client, Host: host,
 		TimeoutMS: timeout.Milliseconds(), Cached: hit,
 	}
 	if err := s.append(rec); err != nil {
@@ -232,6 +359,8 @@ func (s *store) accept(spec jobSpec, priority int, client string, timeout time.D
 	if !hit {
 		heap.Push(&s.queue, j)
 	}
+	s.pruneLocked()
+	s.maybeCompactLocked()
 	return j, nil
 }
 
@@ -261,6 +390,8 @@ func (s *store) complete(j *job, artifactSHA string, wall time.Duration) error {
 	j.ArtifactSHA = artifactSHA
 	j.WallMS = wallMS
 	s.results[j.Key] = artifactSHA
+	s.pruneLocked()
+	s.maybeCompactLocked()
 	return nil
 }
 
@@ -276,6 +407,137 @@ func (s *store) fail(j *job, kind, msg string, wall time.Duration) error {
 	j.ErrKind = kind
 	j.ErrMsg = msg
 	j.WallMS = wallMS
+	s.pruneLocked()
+	s.maybeCompactLocked()
+	return nil
+}
+
+// pruneLocked bounds the in-memory job table (and, via compaction, the
+// WAL): beyond retain terminal jobs, the oldest are forgotten. Their
+// artifacts and result-cache entries survive — only the /v1/jobs status
+// row goes away. Caller holds s.mu.
+func (s *store) pruneLocked() {
+	var term []*job
+	for _, j := range s.jobs {
+		switch j.State {
+		case StateDone, StateFailed, StateShed:
+			term = append(term, j)
+		}
+	}
+	if len(term) <= s.retain {
+		return
+	}
+	sort.Slice(term, func(i, k int) bool { return term[i].seq < term[k].seq })
+	for _, j := range term[:len(term)-s.retain] {
+		delete(s.jobs, j.ID)
+	}
+}
+
+// liveRecordsLocked counts the WAL records a compacted journal would hold:
+// one meta record, one per cache entry, and one or two per retained job.
+func (s *store) liveRecordsLocked() int {
+	n := 1 + len(s.results)
+	for _, j := range s.jobs {
+		n++
+		switch j.State {
+		case StateDone, StateFailed, StateShed:
+			n++
+		}
+	}
+	return n
+}
+
+// maybeCompactLocked rewrites the WAL once enough records have accumulated
+// since the last rewrite. Compaction failing must not fail the journaled
+// transition that triggered it (that transition is already durable), so
+// errors are logged and retried on a later trigger. Caller holds s.mu.
+func (s *store) maybeCompactLocked() {
+	if s.recsSinceCompact < s.compactEvery {
+		return
+	}
+	if err := s.compactLocked(); err != nil {
+		s.logf("WAL compaction failed (will retry): %v", err)
+	}
+}
+
+// compactLocked atomically replaces the WAL with live state only: a meta
+// record pinning the ID counter, the verified result-cache index, and an
+// accept (plus terminal) record for every retained job in admission order.
+// Replaying the rewritten journal reproduces the current tables exactly —
+// including re-queueing jobs that are queued or running right now, which is
+// the same contract crash replay already relies on. Caller holds s.mu.
+func (s *store) compactLocked() error {
+	var buf bytes.Buffer
+	frame := func(rec walRecord) error {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("graphiod: marshal WAL record: %w", err)
+		}
+		f, err := persist.FrameRecord(b)
+		if err != nil {
+			return err
+		}
+		buf.Write(f)
+		return nil
+	}
+	if err := frame(walRecord{Kind: "meta", NextID: s.nextID}); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(s.results))
+	for k := range s.results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := frame(walRecord{Kind: "result", Key: k, SHA: s.results[k]}); err != nil {
+			return err
+		}
+	}
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
+	for _, j := range jobs {
+		spec := j.Spec
+		if err := frame(walRecord{
+			Kind: "accept", ID: j.ID, Spec: &spec,
+			Priority: j.Priority, Client: j.Client, Host: j.Host,
+			TimeoutMS: j.Timeout.Milliseconds(), Cached: j.Cached,
+		}); err != nil {
+			return err
+		}
+		var terminal *walRecord
+		switch j.State {
+		case StateDone:
+			terminal = &walRecord{Kind: "done", ID: j.ID, SHA: j.ArtifactSHA, WallMS: j.WallMS}
+		case StateFailed:
+			terminal = &walRecord{Kind: "fail", ID: j.ID, ErrKind: j.ErrKind, Error: j.ErrMsg, WallMS: j.WallMS}
+		case StateShed:
+			terminal = &walRecord{Kind: "shed", ID: j.ID}
+		}
+		if terminal != nil {
+			if err := frame(*terminal); err != nil {
+				return err
+			}
+		}
+	}
+	// Swap the journal: close, atomic-replace, reopen. WriteFileAtomic's
+	// temp+rename keeps the old journal intact on failure, so a failed
+	// rewrite degrades to an uncompacted (still correct) WAL.
+	if err := s.wal.Close(); err != nil {
+		return fmt.Errorf("graphiod: compact WAL: %w", err)
+	}
+	writeErr := persist.WriteFileAtomic(walPath(s.dir), buf.Bytes(), 0o644)
+	wal, _, openErr := persist.OpenJournal(walPath(s.dir))
+	if openErr != nil {
+		return fmt.Errorf("graphiod: reopen WAL after compaction: %w", openErr)
+	}
+	s.wal = wal
+	if writeErr != nil {
+		return fmt.Errorf("graphiod: compact WAL: %w", writeErr)
+	}
+	s.recsSinceCompact = 0
 	return nil
 }
 
@@ -300,6 +562,8 @@ func (s *store) shedLowest() (*job, error) {
 	}
 	heap.Remove(&s.queue, worst)
 	j.State = StateShed
+	s.pruneLocked()
+	s.maybeCompactLocked()
 	return j, nil
 }
 
@@ -333,19 +597,6 @@ func (s *store) list() []JobInfo {
 	return out
 }
 
-// inFlight counts a client's non-terminal jobs, for per-client admission.
-func (s *store) inFlight(client string) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := 0
-	for _, j := range s.jobs {
-		if j.Client == client && (j.State == StateQueued || j.State == StateRunning) {
-			n++
-		}
-	}
-	return n
-}
-
 // cachedSHA returns the verified artifact hash for a key, if completed.
 func (s *store) cachedSHA(key string) (string, bool) {
 	s.mu.Lock()
@@ -371,6 +622,9 @@ func (s *store) storeGraph(canonical []byte) (string, error) {
 
 // loadGraph rereads a stored upload and verifies it still hashes to sha.
 func (s *store) loadGraph(sha string) (*graph.Graph, error) {
+	if !isContentKey(sha) {
+		return nil, fmt.Errorf("graphiod: invalid graph hash %q", sha)
+	}
 	data, err := os.ReadFile(graphPath(s.dir, sha))
 	if err != nil {
 		return nil, fmt.Errorf("graphiod: stored graph %s: %w", sha, err)
@@ -394,8 +648,14 @@ func (s *store) commitArtifact(key string, data []byte) (string, error) {
 	return sha256Hex(data), nil
 }
 
-// readArtifact returns the raw artifact bytes for a key.
+// readArtifact returns the raw artifact bytes for a key. Keys reach here
+// from the URL path, so anything that is not a content hash is rejected
+// before it can touch the filesystem — "../" in a key must never resolve
+// to a path outside the results dir.
 func (s *store) readArtifact(key string) ([]byte, error) {
+	if !isContentKey(key) {
+		return nil, fmt.Errorf("graphiod: invalid artifact key %q", key)
+	}
 	return os.ReadFile(artifactPath(s.dir, key))
 }
 

@@ -33,6 +33,14 @@ type Config struct {
 	QueueCap int
 	// ClientInFlight caps one client's queued+running jobs. Default 16.
 	ClientInFlight int
+	// HostInFlight caps one remote address's queued+running jobs across
+	// every client name it claims (the client field is request-supplied and
+	// must not be a way around the cap). Default 4 × ClientInFlight.
+	HostInFlight int
+	// RetainJobs bounds the terminal jobs kept in the status table and the
+	// compacted WAL; beyond it the oldest are forgotten (their cached
+	// artifacts survive). Default 4096.
+	RetainJobs int
 	// MaxGraphBytes caps an uploaded graph's JSON size; oversized uploads
 	// get a structured 413. Default graph.DefaultReadLimit (64 MiB).
 	MaxGraphBytes int64
@@ -67,6 +75,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ClientInFlight <= 0 {
 		c.ClientInFlight = 16
+	}
+	if c.HostInFlight <= 0 {
+		c.HostInFlight = 4 * c.ClientInFlight
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 4096
 	}
 	if c.MaxGraphBytes <= 0 {
 		c.MaxGraphBytes = graph.DefaultReadLimit
@@ -130,7 +144,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DataDir == "" {
 		return nil, errors.New("graphiod: Config.DataDir is required")
 	}
-	st, err := openStore(cfg.DataDir)
+	st, err := openStore(cfg.DataDir, cfg.RetainJobs, cfg.Log)
 	if err != nil {
 		return nil, err
 	}
@@ -190,24 +204,29 @@ func (srv *Server) worker() {
 	}
 }
 
-// shedUnderPressure drops lowest-priority queued jobs while memory usage
-// sits above the soft limit. Each shed is journaled, typed, and counted.
+// shedUnderPressure drops at most one lowest-priority queued job per check
+// when memory usage sits above the soft limit. One job per check, not a
+// loop: shedding a queued job frees almost nothing immediately (the job
+// struct is tiny, and the default heap gauge only falls after a GC cycle),
+// so looping until the gauge dropped would flush the entire queue —
+// highest-priority jobs included — on a single excursion. Checks run on
+// every submission and every worker dequeue, so sustained pressure still
+// drains the queue steadily, lowest priority first. Each shed is
+// journaled, typed, and counted.
 func (srv *Server) shedUnderPressure() {
-	if srv.cfg.MemSoftLimit <= 0 {
+	if srv.cfg.MemSoftLimit <= 0 || srv.cfg.MemUsage() <= srv.cfg.MemSoftLimit {
 		return
 	}
-	for srv.cfg.MemUsage() > srv.cfg.MemSoftLimit {
-		j, err := srv.store.shedLowest()
-		if err != nil {
-			srv.log("shed: %v", err)
-			return
-		}
-		if j == nil {
-			return
-		}
-		srv.scope.Inc("serve.jobs.shed")
-		srv.log("job %s shed (priority %d) under memory pressure", j.ID, j.Priority)
+	j, err := srv.store.shedLowest()
+	if err != nil {
+		srv.log("shed: %v", err)
+		return
 	}
+	if j == nil {
+		return
+	}
+	srv.scope.Inc("serve.jobs.shed")
+	srv.log("job %s shed (priority %d) under memory pressure", j.ID, j.Priority)
 }
 
 // Drain stops admission and dispatch, then waits for in-flight jobs to
@@ -328,13 +347,13 @@ func (srv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	host, _, splitErr := net.SplitHostPort(r.RemoteAddr)
+	if splitErr != nil {
+		host = r.RemoteAddr
+	}
 	client := req.Client
 	if client == "" {
-		if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
-			client = host
-		} else {
-			client = r.RemoteAddr
-		}
+		client = host
 	}
 	timeout := srv.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
@@ -344,23 +363,22 @@ func (srv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		timeout = srv.cfg.MaxTimeout
 	}
 
-	// Admission control: per-client cap first (a hogging client must not
-	// be able to convert its own backlog into 429s for everyone), then the
-	// global queue-depth cap, with shedding given a chance to free room.
-	if n := srv.store.inFlight(client); n >= srv.cfg.ClientInFlight {
-		srv.writeFault(w, http.StatusTooManyRequests,
-			Fault{Kind: "client_limit", Message: fmt.Sprintf("client %q already has %d jobs in flight", client, n), Limit: int64(srv.cfg.ClientInFlight)}, 10)
-		return
-	}
+	// Shedding gets a chance to free room, then admission control runs
+	// atomically with the acceptance inside store.accept — the caps and
+	// the accept share one lock acquisition, so concurrent submissions
+	// cannot collectively overshoot them.
 	srv.shedUnderPressure()
-	if d := srv.store.depth(); d >= srv.cfg.QueueCap {
-		srv.writeFault(w, http.StatusTooManyRequests,
-			Fault{Kind: "queue_full", Message: fmt.Sprintf("queue at capacity (%d jobs)", d), Limit: int64(srv.cfg.QueueCap)}, 30)
-		return
-	}
-
-	j, err := srv.store.accept(*spec, req.Priority, client, timeout)
+	j, err := srv.store.accept(*spec, req.Priority, client, host, timeout, admitLimits{
+		ClientInFlight: srv.cfg.ClientInFlight,
+		HostInFlight:   srv.cfg.HostInFlight,
+		QueueCap:       srv.cfg.QueueCap,
+	})
 	if err != nil {
+		var ae *admitError
+		if errors.As(err, &ae) {
+			srv.writeFault(w, http.StatusTooManyRequests, ae.Fault, ae.RetryAfter)
+			return
+		}
 		srv.writeFault(w, http.StatusInternalServerError, Fault{Kind: "internal", Message: err.Error()}, 0)
 		return
 	}
@@ -459,7 +477,16 @@ func (srv *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (srv *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	data, err := srv.store.readArtifact(r.PathValue("key"))
+	// The {key} segment arrives percent-decoded, so a crafted request can
+	// put "../" in it; only the SHA-256 hex shape real keys have may reach
+	// the filesystem (readArtifact checks too — this keeps the rejection a
+	// clean 404 rather than relying on the error path).
+	key := r.PathValue("key")
+	if !isContentKey(key) {
+		srv.writeFault(w, http.StatusNotFound, Fault{Kind: "not_found", Message: "no artifact for that key"}, 0)
+		return
+	}
+	data, err := srv.store.readArtifact(key)
 	if err != nil {
 		srv.writeFault(w, http.StatusNotFound, Fault{Kind: "not_found", Message: "no artifact for that key"}, 0)
 		return

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (no deps).
 
-.PHONY: build test test-race vet vet-strict lint bench bench-json bench-check bench-history cover experiments experiments-quick verify-resume verify-dist verify-graphiod examples fmt
+.PHONY: build test test-race vet vet-strict lint lint-sarif lint-fixtures bench bench-json bench-check bench-history cover experiments experiments-quick verify-resume verify-dist verify-graphiod examples fmt
 
 build:
 	go build ./...
@@ -14,6 +14,16 @@ vet:
 # suppress individual lines with `//lint:ignore <rule> <reason>`.
 lint:
 	go run ./cmd/graphiolint ./...
+
+# The same gate, also writing a SARIF 2.1.0 log for code-scanning uploads
+# (the CI lint job attaches lint.sarif as a build artifact).
+lint-sarif:
+	go run ./cmd/graphiolint -format sarif -o lint.sarif ./...
+
+# The analyzer's own test suite: `// want` hit/clean fixtures per rule,
+# call-graph unit tests, SARIF golden, baseline round-trip, directives.
+lint-fixtures:
+	go test -timeout 10m ./internal/lint/
 
 # The strictest static gate the repo has (used by the CI lint job):
 # gofmt cleanliness, the full vet suite, then the repo's own analyzer.

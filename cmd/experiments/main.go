@@ -228,6 +228,9 @@ func runCoordinator(ctx context.Context, cfg experiments.Config, outDir string, 
 		Shards: shards, ConfigHash: merge.ConfigHash(), Sink: merge,
 		OutDir: outDir, Resume: cfg.Resume,
 		LeaseTTL: ttl, MaxAttempts: attempts, AuthToken: authToken, Log: os.Stderr,
+		// Grant the historically slowest shards first (LPT): a long shard
+		// granted last would leave one worker grinding while the rest idle.
+		WallHistory: merge.WallHistory(),
 	})
 	if err != nil {
 		return nil, err

@@ -56,6 +56,7 @@ func serve() int {
 	clientCap := flag.Int("client-inflight", 16, "max queued+running jobs per client")
 	hostCap := flag.Int("host-inflight", 0, "max queued+running jobs per remote address, across client names (0 = 4x -client-inflight)")
 	retainJobs := flag.Int("retain-jobs", 4096, "terminal jobs kept in the status table and the compacted WAL; the oldest beyond this are forgotten (their cached artifacts survive)")
+	artifactTTL := flag.Duration("artifact-ttl", 0, "expire cached result artifacts this much older than their last write, once their status row is pruned; swept on startup and hourly (0 keeps them forever)")
 	maxGraphBytes := flag.Int64("max-graph-bytes", graph.DefaultReadLimit, "uploaded graph JSON size cap; larger uploads get a structured 413")
 	maxVertices := flag.Int("max-vertices", 1<<22, "vertex cap for generated and uploaded graphs")
 	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "default per-job deadline; a stalled solve fails typed 'deadline' at this point")
@@ -88,6 +89,7 @@ func serve() int {
 		ClientInFlight: *clientCap,
 		HostInFlight:   *hostCap,
 		RetainJobs:     *retainJobs,
+		ArtifactTTL:    *artifactTTL,
 		MaxGraphBytes:  *maxGraphBytes,
 		MaxVertices:    *maxVertices,
 		DefaultTimeout: *jobTimeout,

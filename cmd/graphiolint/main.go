@@ -3,21 +3,26 @@
 //
 // Usage:
 //
-//	graphiolint [-json] [-rules a,b] [-list] [patterns...]
+//	graphiolint [-format text|json|sarif] [-o file] [-rules a,b]
+//	            [-baseline file] [-write-baseline file] [-list] [patterns...]
 //
 // Patterns default to ./... and follow the go tool's shape ("./...",
-// "./internal/core", "internal/..."). Exit status: 0 clean, 1 findings,
-// 2 usage or load error. Findings are suppressed in place with
+// "./internal/core", "internal/..."). Exit status: 0 clean (warn-tier
+// findings are printed but do not fail), 1 error-tier findings, 2 usage
+// or load error. Findings are suppressed in place with
 //
 //	//lint:ignore <rule> <reason>
 //
 // on or directly above the offending line; the reason is mandatory and a
-// suppression that matches nothing is itself a finding.
+// suppression that matches nothing is itself a finding. A baseline file
+// (-write-baseline to create, -baseline to apply) freezes existing debt by
+// (rule, file, message) so only new findings fail the gate.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -30,20 +35,31 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("graphiolint", flag.ContinueOnError)
-	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	jsonOut := fs.Bool("json", false, "shorthand for -format json")
+	format := fs.String("format", "text", "output format: text, json, or sarif")
+	out := fs.String("o", "", "write findings to this file instead of stdout")
 	rulesFlag := fs.String("rules", "", "comma-separated rule subset to run (default: all)")
+	baselinePath := fs.String("baseline", "", "filter findings recorded in this baseline file")
+	writeBaseline := fs.String("write-baseline", "", "write surviving findings to this baseline file and exit 0")
 	list := fs.Bool("list", false, "print the rule catalog and exit")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "graphiolint: unknown -format %q (want text, json, or sarif)\n", *format)
 		return 2
 	}
 
 	rules := lint.DefaultRules()
 	if *list {
-		for _, r := range rules {
-			fmt.Printf("%-15s %s\n", r.Name(), r.Doc())
+		for _, ri := range lint.CatalogInfo(rules) {
+			fmt.Printf("%-18s %s\n", ri.Name, ri.Doc)
 		}
-		fmt.Printf("%-15s %s\n", lint.DirectiveRule, "meta: malformed or unknown-rule //lint:ignore directives")
-		fmt.Printf("%-15s %s\n", lint.UnusedSuppRule, "meta: //lint:ignore directives that suppress nothing")
 		return 0
 	}
 	if *rulesFlag != "" {
@@ -88,18 +104,67 @@ func run(args []string) int {
 		return 2
 	}
 
-	if *jsonOut {
-		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+	if *baselinePath != "" {
+		b, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "graphiolint: %v\n", err)
 			return 2
 		}
-	} else if err := lint.WriteText(os.Stdout, diags); err != nil {
+		var suppressed int
+		diags, suppressed = b.Filter(root, diags)
+		if suppressed > 0 {
+			fmt.Fprintf(os.Stderr, "graphiolint: %d finding(s) covered by baseline %s\n", suppressed, *baselinePath)
+		}
+	}
+
+	if *writeBaseline != "" {
+		//lint:ignore persist-writes a lint baseline is regenerable tool output, not a durable artifact; plain create keeps the linter free of the persist import cycle
+		f, err := os.Create(*writeBaseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphiolint: %v\n", err)
+			return 2
+		}
+		werr := lint.NewBaseline(root, diags).Write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "graphiolint: writing baseline: %v\n", werr)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "graphiolint: baseline %s written (%d finding(s))\n", *writeBaseline, len(diags))
+		return 0
+	}
+
+	dst := io.Writer(os.Stdout)
+	if *out != "" {
+		//lint:ignore persist-writes report output (-o) is regenerable tool output, not a durable artifact; plain create keeps the linter free of the persist import cycle
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphiolint: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		dst = f
+	}
+	switch *format {
+	case "json":
+		err = lint.WriteJSON(dst, diags)
+	case "sarif":
+		err = lint.WriteSARIF(dst, root, lint.CatalogInfo(rules), diags)
+	default:
+		err = lint.WriteText(dst, diags)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "graphiolint: %v\n", err)
 		return 2
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "graphiolint: %d finding(s)\n", len(diags))
+	if errs := lint.CountErrors(diags); errs > 0 {
+		fmt.Fprintf(os.Stderr, "graphiolint: %d finding(s), %d at the error tier\n", len(diags), errs)
 		return 1
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "graphiolint: %d warning(s), gate passes\n", len(diags))
 	}
 	return 0
 }

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -67,6 +68,12 @@ type Config struct {
 	// WorkerConfig.AuthToken / GRAPHIO_TOKEN). Token check only; transport
 	// encryption is out of scope.
 	AuthToken string
+	// WallHistory maps shard names to their wall time in a prior run
+	// (experiments.Merge.WallHistory provides it from the manifest). When
+	// non-empty the coordinator grants the slowest known shards first (LPT
+	// scheduling), shrinking sweep makespan: without it a long shard
+	// granted last leaves one worker grinding while the rest idle.
+	WallHistory map[string]time.Duration
 	// Log receives progress lines (nil = silent).
 	Log io.Writer
 }
@@ -133,11 +140,13 @@ type Coordinator struct {
 	mu     sync.Mutex
 	wal    *persist.Journal
 	shards map[string]*shardState
-	order  []string
-	seq    int // lease sequence, monotone across restarts (replayed from WAL)
+	order  []string // canonical (display/snapshot) order
+	grants []string // claim-time order: LPT when WallHistory is known
+	seq    int      // lease sequence, monotone across restarts (replayed from WAL)
 
-	srv *http.Server
-	ln  net.Listener
+	srv       *http.Server
+	ln        net.Listener
+	serveDone chan struct{} // closed when the Serve goroutine exits
 }
 
 // New opens (or, with cfg.Resume, replays) the WAL and returns a
@@ -168,6 +177,7 @@ func New(cfg Config) (*Coordinator, error) {
 		shards: map[string]*shardState{},
 		order:  append([]string(nil), cfg.Shards...),
 	}
+	c.grants = buildClaimOrder(c.order, cfg.WallHistory)
 	for _, name := range c.order {
 		c.shards[name] = &shardState{name: name, state: StatePending}
 	}
@@ -266,6 +276,27 @@ func (c *Coordinator) replay(records [][]byte) error {
 	return nil
 }
 
+// buildClaimOrder decides the order shards are granted in: shards with no
+// recorded wall time first, in canonical order (their cost is unknown, so
+// starting them early bounds the surprise), then known shards
+// longest-first — the classic LPT heuristic, which keeps the slowest
+// shard off the critical path of the sweep's tail.
+func buildClaimOrder(canonical []string, hist map[string]time.Duration) []string {
+	if len(hist) == 0 {
+		return append([]string(nil), canonical...)
+	}
+	var unknown, known []string
+	for _, name := range canonical {
+		if _, ok := hist[name]; ok {
+			known = append(known, name)
+		} else {
+			unknown = append(unknown, name)
+		}
+	}
+	sort.SliceStable(known, func(i, j int) bool { return hist[known[i]] > hist[known[j]] })
+	return append(unknown, known...)
+}
+
 // requeueDelay is the backoff before a shard that burned attempt n becomes
 // claimable again: RetryDelay * 2^(n-1), up to half of that again as
 // deterministic jitter, capped at 30s.
@@ -303,6 +334,7 @@ func (c *Coordinator) expireLocked() {
 		cause := fmt.Errorf("lease %s expired (worker %s stopped renewing)", s.lease, s.worker)
 		c.logf("dist: shard %s attempt %d: %v", s.name, s.attempts, cause)
 		c.scope.Inc("dist.expirations")
+		//lint:ignore lock-blocking expiry must burn the attempt atomically with the lease state under c.mu; failure records are small appends, not CSV merges
 		if err := c.cfg.Sink.CommitFailure(s.name, 0, cause, s.worker); err != nil {
 			c.logf("dist: recording expiry of %s: %v", s.name, err)
 		}
@@ -314,6 +346,7 @@ func (c *Coordinator) expireLocked() {
 // backoff, or poison past the cap. The caller holds c.mu.
 func (c *Coordinator) resolveAttemptLocked(s *shardState, cause error) {
 	if s.attempts >= c.cfg.maxAttempts() {
+		//lint:ignore lock-blocking append-before-effect: poison/fail records must be durable before the transition they describe, atomically under the caller's c.mu
 		if err := c.append(walRecord{Kind: "poison", Shard: s.name, Attempt: s.attempts, Error: cause.Error()}); err != nil {
 			c.logf("dist: WAL poison %s: %v", s.name, err)
 			return
@@ -395,13 +428,26 @@ func (c *Coordinator) handleClaim(w http.ResponseWriter, r *http.Request) {
 			c.cfg.ConfigHash, req.ConfigHash), http.StatusConflict)
 		return
 	}
+	resp, errMsg := c.claim(req)
+	if errMsg != "" {
+		http.Error(w, errMsg, http.StatusInternalServerError)
+		return
+	}
+	reply(w, resp)
+}
+
+// claim runs the grant state machine under c.mu and returns the response
+// to send. The HTTP write happens in the handler after the lock is
+// released: a slow or stalled client must not hold up every other
+// worker's claim.
+func (c *Coordinator) claim(req ClaimRequest) (ClaimResponse, string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.expireLocked()
 	now := obs.Now()
 	unresolved := false
 	var nextEvent time.Time
-	for _, name := range c.order {
+	for _, name := range c.grants {
 		s := c.shards[name]
 		switch s.state {
 		case StateDone, StatePoisoned:
@@ -420,15 +466,17 @@ func (c *Coordinator) handleClaim(w http.ResponseWriter, r *http.Request) {
 			}
 			continue
 		}
-		// Grant: WAL first, then the in-memory transition.
-		c.seq++
-		lease := fmt.Sprintf("L%06d", c.seq)
+		// Grant: WAL first, then the in-memory transition. The lease id is
+		// derived from the NEXT sequence number; c.seq itself only advances
+		// once the record is durable, so a failed append leaves nothing to
+		// roll back.
+		lease := fmt.Sprintf("L%06d", c.seq+1)
 		attempt := s.attempts + 1
+		//lint:ignore lock-blocking append-before-effect: the grant record must be durable before the lease transition it describes, atomically under c.mu
 		if err := c.append(walRecord{Kind: "grant", Shard: s.name, Worker: req.Worker, Lease: lease, Attempt: attempt}); err != nil {
-			c.seq--
-			http.Error(w, "journaling grant: "+err.Error(), http.StatusInternalServerError)
-			return
+			return ClaimResponse{}, "journaling grant: " + err.Error()
 		}
+		c.seq++
 		s.state = StateLeased
 		s.worker, s.lease, s.attempts = req.Worker, lease, attempt
 		s.expiry = now.Add(c.cfg.leaseTTL())
@@ -437,15 +485,13 @@ func (c *Coordinator) handleClaim(w http.ResponseWriter, r *http.Request) {
 		}
 		c.scope.Inc("dist.claims")
 		c.logf("dist: shard %s -> worker %s (lease %s, attempt %d/%d)", s.name, req.Worker, lease, attempt, c.cfg.maxAttempts())
-		reply(w, ClaimResponse{
+		return ClaimResponse{
 			Status: ClaimShard, Shard: s.name, Lease: lease,
 			LeaseTTLMS: c.cfg.leaseTTL().Milliseconds(), Attempt: attempt,
-		})
-		return
+		}, ""
 	}
 	if !unresolved {
-		reply(w, ClaimResponse{Status: ClaimDone})
-		return
+		return ClaimResponse{Status: ClaimDone}, ""
 	}
 	retry := 500 * time.Millisecond
 	if !nextEvent.IsZero() {
@@ -456,7 +502,7 @@ func (c *Coordinator) handleClaim(w http.ResponseWriter, r *http.Request) {
 	if retry < 50*time.Millisecond {
 		retry = 50 * time.Millisecond
 	}
-	reply(w, ClaimResponse{Status: ClaimWait, RetryMS: retry.Milliseconds()})
+	return ClaimResponse{Status: ClaimWait, RetryMS: retry.Milliseconds()}, ""
 }
 
 func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
@@ -464,24 +510,28 @@ func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	reply(w, c.renew(req))
+}
+
+// renew extends a held lease under c.mu; the reply is written lock-free
+// in the handler.
+func (c *Coordinator) renew(req RenewRequest) RenewResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.expireLocked()
 	s, ok := c.shards[req.Shard]
 	if !ok {
-		reply(w, RenewResponse{OK: false, Reason: "unknown shard"})
-		return
+		return RenewResponse{OK: false, Reason: "unknown shard"}
 	}
 	if s.state != StateLeased || s.lease != req.Lease {
 		c.scope.Inc("dist.renewals_rejected")
-		reply(w, RenewResponse{OK: false, Reason: "lease not held (expired and reassigned, or shard resolved)"})
-		return
+		return RenewResponse{OK: false, Reason: "lease not held (expired and reassigned, or shard resolved)"}
 	}
 	// Renewals are in-memory only: the WAL does not need them, because a
 	// restarted coordinator re-arms every open lease with a fresh TTL.
 	s.expiry = obs.Now().Add(c.cfg.leaseTTL())
 	c.scope.Inc("dist.renewals")
-	reply(w, RenewResponse{OK: true})
+	return RenewResponse{OK: true}
 }
 
 func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
@@ -493,11 +543,12 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "config hash mismatch", http.StatusConflict)
 		return
 	}
+	// Phase 1, locked: validate the shard and capture lease freshness.
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.expireLocked()
 	s, ok := c.shards[req.Shard]
 	if !ok {
+		c.mu.Unlock()
 		http.Error(w, "unknown shard "+req.Shard, http.StatusBadRequest)
 		return
 	}
@@ -507,13 +558,29 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	// last-write-wins instead of being dropped. That is what makes the
 	// half-open failure mode converge.
 	stale := s.state != StateLeased || s.lease != req.Lease || s.worker != req.Worker
+	c.mu.Unlock()
+
+	// Phase 2, unlocked: merge the upload. CommitResult fsyncs a
+	// potentially multi-megabyte CSV; under c.mu that one fsync would
+	// stall every claim, renew and expiry sweep for its duration. The Sink
+	// contract requires concurrent safety and the merge is
+	// last-write-wins, so two racing uploads of one shard converge in
+	// either order.
 	if err := c.cfg.Sink.CommitResult(req.Shard, req.Title, req.CSV, req.WallMS, req.Worker); err != nil {
 		// Rejected (garbage CSV) or not durable: the shard stays unresolved.
 		http.Error(w, "committing result: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
+
+	// Phase 3, locked again: journal the completion, then apply it. The
+	// shard may have changed state while unlocked (expiry, even poisoning);
+	// a durable verified result still wins — same convergence argument as
+	// the stale-upload path.
+	c.mu.Lock()
 	if s.state != StateDone {
+		//lint:ignore lock-blocking append-before-effect: the completion record must be durable before the transition it describes, atomically under c.mu
 		if err := c.append(walRecord{Kind: "complete", Shard: req.Shard, Worker: req.Worker, Lease: req.Lease}); err != nil {
+			c.mu.Unlock()
 			http.Error(w, "journaling completion: "+err.Error(), http.StatusInternalServerError)
 			return
 		}
@@ -529,6 +596,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	} else {
 		c.logf("dist: shard %s completed by %s (%dms)", req.Shard, req.Worker, req.WallMS)
 	}
+	c.mu.Unlock()
 	reply(w, CompleteResponse{OK: true, Stale: stale})
 }
 
@@ -537,28 +605,38 @@ func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	resp, errMsg := c.fail(req)
+	if errMsg != "" {
+		http.Error(w, errMsg, http.StatusBadRequest)
+		return
+	}
+	reply(w, resp)
+}
+
+// fail burns the reported attempt under c.mu; the reply is written
+// lock-free in the handler.
+func (c *Coordinator) fail(req FailRequest) (FailResponse, string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.expireLocked()
 	s, ok := c.shards[req.Shard]
 	if !ok {
-		http.Error(w, "unknown shard "+req.Shard, http.StatusBadRequest)
-		return
+		return FailResponse{}, "unknown shard " + req.Shard
 	}
 	if s.state != StateLeased || s.lease != req.Lease {
 		// The attempt was already accounted (expiry or reassignment); this
 		// report is news from the past. Acknowledge and ignore.
-		reply(w, FailResponse{OK: true, Poisoned: s.state == StatePoisoned})
-		return
+		return FailResponse{OK: true, Poisoned: s.state == StatePoisoned}, ""
 	}
 	cause := errors.New(req.Error)
 	c.scope.Inc("dist.failures")
 	c.logf("dist: shard %s attempt %d failed on %s: %v", s.name, s.attempts, req.Worker, cause)
+	//lint:ignore lock-blocking attempt accounting must stay atomic with the lease state under c.mu; failure records are small appends, not CSV merges
 	if err := c.cfg.Sink.CommitFailure(s.name, req.WallMS, cause, req.Worker); err != nil {
 		c.logf("dist: recording failure of %s: %v", s.name, err)
 	}
 	c.resolveAttemptLocked(s, cause)
-	reply(w, FailResponse{OK: true, Poisoned: s.state == StatePoisoned})
+	return FailResponse{OK: true, Poisoned: s.state == StatePoisoned}, ""
 }
 
 func (c *Coordinator) handleState(w http.ResponseWriter, r *http.Request) {
@@ -616,7 +694,11 @@ func (c *Coordinator) Start(addr string) (string, error) {
 	}
 	c.ln = ln
 	c.srv = &http.Server{Handler: c.Handler()}
-	go func() { _ = c.srv.Serve(ln) }()
+	c.serveDone = make(chan struct{})
+	go func(done chan struct{}) {
+		defer close(done)
+		_ = c.srv.Serve(ln)
+	}(c.serveDone)
 	c.logf("dist: coordinator serving on %s (%d shard(s), lease TTL %v)", ln.Addr(), len(c.order), c.cfg.leaseTTL())
 	return ln.Addr().String(), nil
 }
@@ -663,6 +745,8 @@ func (c *Coordinator) Wait(ctx context.Context) error {
 func (c *Coordinator) Close() {
 	if c.srv != nil {
 		_ = c.srv.Close()
+		// Join the Serve goroutine so no handler races the WAL close below.
+		<-c.serveDone
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -671,6 +755,7 @@ func (c *Coordinator) Close() {
 		s.scope = nil
 	}
 	c.scope.Close()
+	//lint:ignore lock-blocking shutdown path: the server is stopped and its goroutine joined, so the final WAL close convoys nothing
 	_ = c.wal.Close()
 }
 

@@ -1,0 +1,162 @@
+package dist
+
+// Regression tests for the concurrency fixes that the lock-blocking and
+// goroutine-join lint rules drove: result commits must not run under
+// c.mu, Close must join the Serve goroutine, and LPT claim ordering must
+// follow the wall-time history.
+
+import (
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestBuildClaimOrderLPT(t *testing.T) {
+	canonical := []string{"a", "b", "c", "d"}
+	cases := []struct {
+		name string
+		hist map[string]time.Duration
+		want []string
+	}{
+		{"no history keeps canonical order", nil, []string{"a", "b", "c", "d"}},
+		{"known shards sort by descending wall time",
+			map[string]time.Duration{"a": time.Second, "b": 4 * time.Second, "c": 2 * time.Second, "d": 3 * time.Second},
+			[]string{"b", "d", "c", "a"}},
+		{"unknown shards go first, in canonical order",
+			map[string]time.Duration{"a": time.Second, "c": 2 * time.Second},
+			[]string{"b", "d", "c", "a"}},
+		{"ties stay in canonical order",
+			map[string]time.Duration{"a": time.Second, "b": time.Second, "c": time.Second, "d": time.Second},
+			[]string{"a", "b", "c", "d"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := buildClaimOrder(canonical, c.hist)
+			if !reflect.DeepEqual(got, c.want) {
+				t.Errorf("buildClaimOrder = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestClaimOrderFollowsWallHistory(t *testing.T) {
+	_, url := newTestCoordinator(t, Config{
+		Shards:     []string{"fast", "slow", "mid"},
+		ConfigHash: "h",
+		WallHistory: map[string]time.Duration{
+			"fast": time.Second, "slow": 10 * time.Second, "mid": 5 * time.Second,
+		},
+	})
+	for _, want := range []string{"slow", "mid", "fast"} {
+		claim := claimUntilShard(t, url, "w1", "h")
+		if claim.Shard != want {
+			t.Fatalf("granted %s, want %s (LPT order)", claim.Shard, want)
+		}
+		var done CompleteResponse
+		if _, err := postJSON(t, url+PathComplete, CompleteRequest{
+			Worker: "w1", Shard: claim.Shard, Lease: claim.Lease, ConfigHash: "h",
+			Title: claim.Shard, CSV: []byte("k,v\n"),
+		}, &done); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// blockingSink gates CommitResult on a channel so a test can hold an
+// upload mid-commit and probe what else the coordinator can do meanwhile.
+type blockingSink struct {
+	*memSink
+	entered chan struct{} // closed when CommitResult is reached
+	release chan struct{} // commit completes when this closes
+}
+
+func (s *blockingSink) CommitResult(name, title string, csv []byte, wallMS int64, worker string) error {
+	close(s.entered)
+	<-s.release
+	return s.memSink.CommitResult(name, title, csv, wallMS, worker)
+}
+
+// TestCompleteCommitOutsideLock holds an upload inside Sink.CommitResult
+// and requires a concurrent renewal to succeed while it is stuck: the
+// multi-megabyte artifact fsync must not serialize the claim/renew path.
+func TestCompleteCommitOutsideLock(t *testing.T) {
+	sink := &blockingSink{
+		memSink: newMemSink(),
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	_, url := newTestCoordinator(t, Config{
+		Shards: []string{"alpha", "beta"}, ConfigHash: "h", Sink: sink,
+	})
+	alpha := claimUntilShard(t, url, "w1", "h")
+	beta := claimUntilShard(t, url, "w2", "h")
+
+	completeDone := make(chan error, 1)
+	go func() {
+		var done CompleteResponse
+		_, err := postJSON(t, url+PathComplete, CompleteRequest{
+			Worker: "w1", Shard: alpha.Shard, Lease: alpha.Lease, ConfigHash: "h",
+			Title: "t", CSV: []byte("k,v\n"),
+		}, &done)
+		completeDone <- err
+	}()
+
+	select {
+	case <-sink.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("upload never reached CommitResult")
+	}
+
+	renewDone := make(chan RenewResponse, 1)
+	go func() {
+		var renew RenewResponse
+		if _, err := postJSON(t, url+PathRenew, RenewRequest{Worker: "w2", Shard: beta.Shard, Lease: beta.Lease}, &renew); err != nil {
+			t.Error(err)
+		}
+		renewDone <- renew
+	}()
+	select {
+	case renew := <-renewDone:
+		if !renew.OK {
+			t.Errorf("renewal during in-flight commit rejected: %+v", renew)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("renewal blocked behind an in-flight CommitResult: the commit is running under c.mu")
+	}
+
+	close(sink.release)
+	if err := <-completeDone; err != nil {
+		t.Fatalf("held upload failed after release: %v", err)
+	}
+}
+
+// TestCloseJoinsServeGoroutine: Close must not return before the Serve
+// goroutine has exited (the goroutine-join fix), and the port must really
+// be closed afterwards.
+func TestCloseJoinsServeGoroutine(t *testing.T) {
+	c, err := New(Config{Shards: []string{"alpha"}, ConfigHash: "h", Sink: newMemSink(), OutDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := c.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + addr
+	resp, err := http.Get(url + PathState)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	c.Close()
+	select {
+	case <-c.serveDone:
+	default:
+		t.Error("Close returned while the Serve goroutine was still running")
+	}
+	if _, err := http.Get(url + PathState); err == nil {
+		t.Error("state endpoint still serving after Close")
+	}
+}

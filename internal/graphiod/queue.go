@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"graphio/internal/graph"
+	"graphio/internal/obs"
 	"graphio/internal/persist"
 )
 
@@ -343,6 +344,7 @@ func (s *store) accept(spec jobSpec, priority int, client, host string, timeout 
 		Priority: priority, Client: client, Host: host,
 		TimeoutMS: timeout.Milliseconds(), Cached: hit,
 	}
+	//lint:ignore lock-blocking append-before-effect: admission, the accept record, and the table/queue insert must be one atomic section under s.mu or racing submissions overshoot the caps
 	if err := s.append(rec); err != nil {
 		return nil, err
 	}
@@ -383,6 +385,7 @@ func (s *store) complete(j *job, artifactSHA string, wall time.Duration) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	wallMS := wall.Milliseconds()
+	//lint:ignore lock-blocking append-before-effect: the done record must be durable before the terminal transition it describes, atomically under s.mu
 	if err := s.append(walRecord{Kind: "done", ID: j.ID, SHA: artifactSHA, WallMS: wallMS}); err != nil {
 		return err
 	}
@@ -400,6 +403,7 @@ func (s *store) fail(j *job, kind, msg string, wall time.Duration) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	wallMS := wall.Milliseconds()
+	//lint:ignore lock-blocking append-before-effect: the fail record must be durable before the terminal transition it describes, atomically under s.mu
 	if err := s.append(walRecord{Kind: "fail", ID: j.ID, ErrKind: kind, Error: msg, WallMS: wallMS}); err != nil {
 		return err
 	}
@@ -480,6 +484,7 @@ func (s *store) compactLocked() error {
 		buf.Write(f)
 		return nil
 	}
+	//lint:ignore lock-blocking compaction must snapshot and swap the journal against a frozen table; it runs under s.mu by contract and is amortized by compactEvery
 	if err := frame(walRecord{Kind: "meta", NextID: s.nextID}); err != nil {
 		return err
 	}
@@ -557,6 +562,7 @@ func (s *store) shedLowest() (*job, error) {
 		}
 	}
 	j := s.queue[worst]
+	//lint:ignore lock-blocking append-before-effect: the shed record must be durable before the job leaves the queue, atomically under s.mu
 	if err := s.append(walRecord{Kind: "shed", ID: j.ID}); err != nil {
 		return nil, err
 	}
@@ -657,6 +663,64 @@ func (s *store) readArtifact(key string) ([]byte, error) {
 		return nil, fmt.Errorf("graphiod: invalid artifact key %q", key)
 	}
 	return os.ReadFile(artifactPath(s.dir, key))
+}
+
+// sweepArtifacts deletes cached artifacts whose file is older than ttl and
+// whose key no retained job row references. Rows pin their artifacts:
+// expiring an artifact a "done" record still names would make WAL replay
+// re-queue (and re-run) that job, so the TTL only reaps artifacts that
+// outlived their status row — the ones retention explicitly left behind as
+// cache. The matching result-cache entry is evicted in the same critical
+// section, and the unlink happens under s.mu too: a concurrent accept for
+// the same key then strictly either hits the cache before the sweep or
+// misses after it, never reads a half-expired entry. (Worst case after a
+// crash, up to walCompactSlack dead records can still name a reaped
+// artifact; replay then re-runs those jobs, the same contract as a missing
+// or corrupt artifact.)
+func (s *store) sweepArtifacts(ttl time.Duration) (int, error) {
+	if ttl <= 0 {
+		return 0, nil
+	}
+	entries, err := os.ReadDir(resultsDir(s.dir))
+	if err != nil {
+		return 0, err
+	}
+	cutoff := obs.Now().Add(-ttl)
+	var stale []string
+	for _, ent := range entries {
+		name := ent.Name()
+		key := strings.TrimSuffix(name, ".json")
+		if ent.IsDir() || key == name || !isContentKey(key) {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil || !info.ModTime().Before(cutoff) {
+			continue
+		}
+		stale = append(stale, key)
+	}
+	if len(stale) == 0 {
+		return 0, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pinned := make(map[string]bool, len(s.jobs))
+	for _, j := range s.jobs {
+		pinned[j.Key] = true
+	}
+	removed := 0
+	for _, key := range stale {
+		if pinned[key] {
+			continue
+		}
+		if err := os.Remove(artifactPath(s.dir, key)); err != nil && !os.IsNotExist(err) {
+			s.logf("artifact GC: %v", err)
+			continue
+		}
+		delete(s.results, key)
+		removed++
+	}
+	return removed, nil
 }
 
 // jobHeap orders queued jobs by (priority desc, admission order asc).

@@ -41,6 +41,12 @@ type Config struct {
 	// compacted WAL; beyond it the oldest are forgotten (their cached
 	// artifacts survive). Default 4096.
 	RetainJobs int
+	// ArtifactTTL, when > 0, expires the artifact cache: result files older
+	// than the TTL whose job row retention already pruned are deleted on
+	// startup and then hourly. Rows pin their artifacts, so a TTL shorter
+	// than a job's lifetime in the status table has no effect on it.
+	// 0 (the default) keeps artifacts forever.
+	ArtifactTTL time.Duration
 	// MaxGraphBytes caps an uploaded graph's JSON size; oversized uploads
 	// get a structured 413. Default graph.DefaultReadLimit (64 MiB).
 	MaxGraphBytes int64
@@ -131,8 +137,9 @@ type Server struct {
 	wg       sync.WaitGroup
 	draining atomic.Bool
 
-	httpSrv *http.Server
-	ln      net.Listener
+	httpSrv   *http.Server
+	ln        net.Listener
+	serveDone chan struct{} // closed when the Serve goroutine exits
 }
 
 // New opens (or recovers) the data dir and starts the worker pool. Jobs
@@ -154,6 +161,7 @@ func New(cfg Config) (*Server, error) {
 		scope: obs.NewScope("serve"),
 		wake:  make(chan struct{}, 1),
 	}
+	//lint:ignore ctx-flow the daemon's hard-deadline context is a process root: New is the top of the ownership tree, there is no caller ctx to thread
 	srv.hard, srv.cancelHard = context.WithCancel(context.Background())
 	srv.dispatch, srv.cancelDispatch = context.WithCancel(srv.hard)
 	for i := 0; i < cfg.Workers; i++ {
@@ -165,7 +173,45 @@ func New(cfg Config) (*Server, error) {
 		srv.scope.Add("serve.jobs.replayed", int64(st.replayed))
 		srv.wakeWorkers()
 	}
+	if cfg.ArtifactTTL > 0 {
+		srv.sweepArtifacts()
+		srv.wg.Add(1)
+		go srv.artifactSweeper()
+	}
 	return srv, nil
+}
+
+// artifactSweepInterval is how often the TTL sweep re-runs between the
+// startup sweep and shutdown.
+const artifactSweepInterval = time.Hour
+
+func (srv *Server) sweepArtifacts() {
+	removed, err := srv.store.sweepArtifacts(srv.cfg.ArtifactTTL)
+	if err != nil {
+		srv.log("artifact GC: %v", err)
+		return
+	}
+	if removed > 0 {
+		srv.scope.Add("serve.artifacts.expired", int64(removed))
+		srv.log("artifact GC: removed %d artifact(s) older than %v", removed, srv.cfg.ArtifactTTL)
+	}
+}
+
+// artifactSweeper re-runs the TTL sweep hourly. It exits with dispatch
+// (Drain or Close) and is joined through srv.wg, so no sweep can race the
+// store closing.
+func (srv *Server) artifactSweeper() {
+	defer srv.wg.Done()
+	t := time.NewTicker(artifactSweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-srv.dispatch.Done():
+			return
+		case <-t.C:
+			srv.sweepArtifacts()
+		}
+	}
 }
 
 func (srv *Server) log(format string, args ...interface{}) {
@@ -256,6 +302,8 @@ func (srv *Server) Close() {
 	srv.cancelHard()
 	if srv.httpSrv != nil {
 		_ = srv.httpSrv.Close()
+		// Join the Serve goroutine so no handler races the store close below.
+		<-srv.serveDone
 	}
 	srv.wg.Wait()
 	srv.scope.Close()
@@ -271,7 +319,12 @@ func (srv *Server) Start(addr string) (string, error) {
 	}
 	srv.ln = ln
 	srv.httpSrv = &http.Server{Handler: srv.Handler()}
-	go srv.httpSrv.Serve(ln) //lint:ignore errcheck Serve returns ErrServerClosed when Close stops the listener, by design
+	srv.serveDone = make(chan struct{})
+	go func(done chan struct{}) {
+		defer close(done)
+		// Serve returns ErrServerClosed when Close stops the listener, by design.
+		_ = srv.httpSrv.Serve(ln)
+	}(srv.serveDone)
 	return ln.Addr().String(), nil
 }
 

@@ -1,0 +1,117 @@
+package lint
+
+// A baseline lets the lint gate tighten incrementally: findings recorded
+// in the baseline file are filtered from the run's output, so a newly
+// introduced (or newly promoted) rule can land with its existing debt
+// frozen while any NEW finding still fails the build. Entries are keyed
+// by (rule, module-relative file, message) — deliberately not by line, so
+// unrelated edits that shift code do not resurrect baselined findings —
+// and carry a count: the same message appearing more times than the
+// baseline recorded fails by the excess.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// BaselineEntry is one suppressed finding class in the baseline file.
+type BaselineEntry struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"` // module-relative, slash-separated
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+// Baseline is the persisted set of accepted findings.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+func baselineKey(rule, relFile, message string) string {
+	return rule + "\x00" + relFile + "\x00" + message
+}
+
+// relPath maps an absolute diagnostic path to the module-relative,
+// slash-separated form used in baseline and SARIF output; paths outside
+// root pass through unchanged.
+func relPath(root, file string) string {
+	if root == "" {
+		return filepath.ToSlash(file)
+	}
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}
+
+// NewBaseline captures the given diagnostics as a baseline, root-relative
+// and sorted for stable files under version control.
+func NewBaseline(root string, ds []Diagnostic) Baseline {
+	counts := make(map[string]*BaselineEntry)
+	var order []string
+	for _, d := range ds {
+		key := baselineKey(d.Rule, relPath(root, d.File), d.Message)
+		if e, ok := counts[key]; ok {
+			e.Count++
+			continue
+		}
+		counts[key] = &BaselineEntry{Rule: d.Rule, File: relPath(root, d.File), Message: d.Message, Count: 1}
+		order = append(order, key)
+	}
+	sort.Strings(order)
+	b := Baseline{Entries: []BaselineEntry{}}
+	for _, key := range order {
+		b.Entries = append(b.Entries, *counts[key])
+	}
+	return b
+}
+
+// WriteBaseline persists the baseline as indented JSON.
+func (b Baseline) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// LoadBaseline reads a baseline file; a missing file is an error (the
+// caller chose -baseline deliberately).
+func LoadBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Baseline{}, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Baseline{}, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// Filter removes diagnostics covered by the baseline and returns the
+// survivors plus how many were suppressed. Each entry absorbs up to Count
+// matching diagnostics; the excess stays.
+func (b Baseline) Filter(root string, ds []Diagnostic) (kept []Diagnostic, suppressed int) {
+	budget := make(map[string]int, len(b.Entries))
+	for _, e := range b.Entries {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		budget[baselineKey(e.Rule, e.File, e.Message)] += n
+	}
+	for _, d := range ds {
+		key := baselineKey(d.Rule, relPath(root, d.File), d.Message)
+		if budget[key] > 0 {
+			budget[key]--
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, suppressed
+}

@@ -1,0 +1,579 @@
+package lint
+
+// callgraph.go is the interprocedural layer of graphiolint v2: a
+// module-local call graph built over the loaded go/types packages, with no
+// dependencies outside the standard library. It resolves direct calls,
+// method calls through the type info, go and defer statements, immediately
+// invoked and passed function literals, and function values tracked one
+// assignment deep. Interface method calls are devirtualized with class
+// hierarchy analysis over the named types of the linted program, which is
+// sound for a closed module: every implementation that can be behind the
+// interface at runtime is one of the types the lint run loaded.
+//
+// Cross-unit identity is the one trap: a package type-checked as a lint
+// unit and the same package type-checked for the import cache yield
+// distinct types.Func objects. Nodes are therefore keyed by
+// types.Func.FullName(), which is a stable string across units, never by
+// object identity.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// EdgeKind classifies how a call site transfers control.
+type EdgeKind uint8
+
+const (
+	// EdgeCall is an ordinary call executed inline.
+	EdgeCall EdgeKind = iota
+	// EdgeDefer is a deferred call; it still runs on the caller's
+	// goroutine, so blocking facts propagate across it.
+	EdgeDefer
+	// EdgeGo is a go statement; the callee runs on its own goroutine, so
+	// blocking facts do NOT propagate, but goroutine-join inspects it.
+	EdgeGo
+	// EdgePass records a function literal handed to someone else (stored or
+	// passed as an argument). The receiver may invoke it on this goroutine,
+	// so blocking facts propagate conservatively.
+	EdgePass
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeCall:
+		return "call"
+	case EdgeDefer:
+		return "defer"
+	case EdgeGo:
+		return "go"
+	case EdgePass:
+		return "pass"
+	}
+	return "?"
+}
+
+// CallEdge is one outgoing call site of a FuncNode.
+type CallEdge struct {
+	Kind EdgeKind
+	Pos  token.Pos
+	Call *ast.CallExpr // nil for EdgePass
+
+	CalleeID string      // stable ID, "" when the callee could not be resolved
+	Callee   *FuncNode   // node inside the program, nil for external callees
+	Fn       *types.Func // declared callee object when known (external or not)
+	Iface    []*FuncNode // CHA-devirtualized targets of an interface method call
+
+	PassesCtx bool // some argument has static type context.Context
+}
+
+// FuncNode is one function, method or function literal in the program.
+type FuncNode struct {
+	ID     string
+	Pkg    *Package
+	Decl   *ast.FuncDecl // nil for literals
+	Lit    *ast.FuncLit  // nil for declared functions
+	Parent *FuncNode     // enclosing function for literals
+	Edges  []*CallEdge
+
+	Summary Summary
+}
+
+// Name returns a short human-readable name: the declared name, or
+// parent$N for literals.
+func (n *FuncNode) Name() string {
+	return shortFuncName(n.ID)
+}
+
+// Body returns the function body, which may be nil for bodyless decls.
+func (n *FuncNode) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// Root walks up to the enclosing declared function of a literal chain.
+func (n *FuncNode) Root() *FuncNode {
+	for n.Parent != nil {
+		n = n.Parent
+	}
+	return n
+}
+
+// Program is the interprocedural view over every lint unit of one run.
+type Program struct {
+	Packages []*Package
+	Funcs    map[string]*FuncNode // keyed by stable ID
+
+	// PersistPath is the durability package whose calls count as blocking
+	// writes and whose Journal.Append is the WAL append.
+	PersistPath string
+
+	perPkg   map[*Package][]*FuncNode
+	lits     map[*ast.FuncLit]*FuncNode
+	litCount map[*FuncNode]int
+	paths    map[string]bool // unit import paths ("_test" suffix trimmed)
+
+	// rawCalls holds call sites recorded during the AST walk, resolved in a
+	// second phase so forward references to function-literal values work.
+	rawCalls []rawCall
+}
+
+type rawCall struct {
+	p      *Package
+	caller *FuncNode
+	call   *ast.CallExpr
+	kind   EdgeKind
+}
+
+// NewProgram builds the call graph and computes summaries to fixpoint
+// with the module's default persist path.
+func NewProgram(pkgs []*Package) *Program {
+	return NewProgramWith(pkgs, DefaultPersistPath)
+}
+
+// NewProgramWith is NewProgram with an explicit persist package path;
+// fixtures use it to stand in their own journal package.
+func NewProgramWith(pkgs []*Package, persistPath string) *Program {
+	pr := &Program{
+		PersistPath: persistPath,
+		Funcs:       make(map[string]*FuncNode),
+		perPkg:      make(map[*Package][]*FuncNode),
+		lits:        make(map[*ast.FuncLit]*FuncNode),
+		litCount:    make(map[*FuncNode]int),
+		paths:       make(map[string]bool),
+	}
+	for _, p := range pkgs {
+		pr.Packages = append(pr.Packages, p)
+		pr.paths[strings.TrimSuffix(p.Path, "_test")] = true
+		pr.collect(p)
+	}
+	for _, rc := range pr.rawCalls {
+		pr.resolve(rc)
+	}
+	pr.rawCalls = nil
+	pr.devirtualize()
+	pr.summarize()
+	return pr
+}
+
+// NodesOf returns the nodes declared in package p (literals included),
+// sorted by position.
+func (pr *Program) NodesOf(p *Package) []*FuncNode {
+	return pr.perPkg[p]
+}
+
+// LitNode returns the node for a function literal, or nil.
+func (pr *Program) LitNode(lit *ast.FuncLit) *FuncNode {
+	return pr.lits[lit]
+}
+
+// funcID returns the stable cross-unit identifier of a declared function.
+func funcID(fn *types.Func) string {
+	if o := fn.Origin(); o != nil {
+		fn = o
+	}
+	return fn.FullName()
+}
+
+// shortFuncName trims package paths out of a node ID for messages:
+// "(*graphio/internal/graphiod.store).accept" -> "(*store).accept".
+func shortFuncName(id string) string {
+	trim := func(s string) string {
+		if i := strings.LastIndex(s, "/"); i >= 0 {
+			s = s[i+1:]
+		}
+		return s
+	}
+	if strings.HasPrefix(id, "(") {
+		if i := strings.Index(id, ")"); i > 0 {
+			recv := id[1:i]
+			star := strings.HasPrefix(recv, "*")
+			recv = strings.TrimPrefix(recv, "*")
+			recv = trim(recv)
+			if i := strings.Index(recv, "."); i >= 0 {
+				recv = recv[i+1:]
+			}
+			if star {
+				recv = "*" + recv
+			}
+			return "(" + recv + ")" + id[i+1:]
+		}
+	}
+	s := trim(id)
+	if i := strings.Index(s, "."); i >= 0 && !strings.Contains(s[:i], "$") {
+		s = s[i+1:]
+	}
+	return s
+}
+
+// --- node collection ---
+
+func (pr *Program) collect(p *Package) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &FuncNode{ID: funcID(obj), Pkg: p, Decl: fd}
+			pr.addNode(n)
+			if fd.Body != nil {
+				pr.walkBody(p, n, fd.Body)
+			}
+		}
+	}
+}
+
+func (pr *Program) addNode(n *FuncNode) {
+	if _, exists := pr.Funcs[n.ID]; !exists {
+		pr.Funcs[n.ID] = n
+	}
+	pr.perPkg[n.Pkg] = append(pr.perPkg[n.Pkg], n)
+}
+
+func (pr *Program) litNodeFor(p *Package, parent *FuncNode, lit *ast.FuncLit) *FuncNode {
+	if n, ok := pr.lits[lit]; ok {
+		return n
+	}
+	n := &FuncNode{
+		ID:     parent.ID + "$" + itoa(pr.litCount[parent]),
+		Pkg:    p,
+		Lit:    lit,
+		Parent: parent,
+	}
+	pr.litCount[parent]++
+	pr.lits[lit] = n
+	pr.addNode(n)
+	return n
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// walkBody records nodes and raw call sites under the given owner node.
+// Function literals open a child node; calls found inside them belong to
+// the literal, not the enclosing function.
+func (pr *Program) walkBody(p *Package, owner *FuncNode, body ast.Node) {
+	var walk func(n ast.Node, under *FuncNode)
+	visitCall := func(call *ast.CallExpr, under *FuncNode, kind EdgeKind) {
+		pr.rawCalls = append(pr.rawCalls, rawCall{p: p, caller: under, call: call, kind: kind})
+		if lit, ok := unparen(call.Fun).(*ast.FuncLit); ok {
+			ln := pr.litNodeFor(p, under, lit)
+			walk(lit.Body, ln)
+		} else {
+			walk(call.Fun, under)
+		}
+		for _, arg := range call.Args {
+			walk(arg, under)
+		}
+	}
+	walk = func(n ast.Node, under *FuncNode) {
+		if n == nil {
+			return
+		}
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			visitCall(x.Call, under, EdgeGo)
+			return
+		case *ast.DeferStmt:
+			visitCall(x.Call, under, EdgeDefer)
+			return
+		case *ast.CallExpr:
+			visitCall(x, under, EdgeCall)
+			return
+		case *ast.FuncLit:
+			ln := pr.litNodeFor(p, under, x)
+			under.Edges = append(under.Edges, &CallEdge{
+				Kind: EdgePass, Pos: x.Pos(), CalleeID: ln.ID, Callee: ln,
+			})
+			walk(x.Body, ln)
+			return
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n || c == nil {
+				return c == n
+			}
+			walk(c, under)
+			return false
+		})
+	}
+	walk(body, owner)
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// --- call resolution ---
+
+func (pr *Program) resolve(rc rawCall) {
+	p, call := rc.p, rc.call
+	edge := &CallEdge{Kind: rc.kind, Pos: call.Pos(), Call: call}
+	edge.PassesCtx = callPassesCtx(p, call)
+
+	fun := unparen(call.Fun)
+	// Generic instantiation: f[T](...) — unwrap to the underlying operand.
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		if tv, ok := p.Info.Types[ix.X]; ok && !tv.IsType() {
+			fun = unparen(ix.X)
+		}
+	case *ast.IndexListExpr:
+		fun = unparen(ix.X)
+	}
+	// Type conversions are not calls.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+
+	switch f := fun.(type) {
+	case *ast.FuncLit:
+		ln := pr.lits[f]
+		if ln != nil {
+			edge.CalleeID, edge.Callee = ln.ID, ln
+		}
+	case *ast.Ident:
+		switch obj := p.Info.Uses[f].(type) {
+		case *types.Func:
+			edge.Fn = obj
+			edge.CalleeID = funcID(obj)
+			edge.Callee = pr.Funcs[edge.CalleeID]
+		case *types.Var:
+			pr.resolveFuncValue(p, rc.caller, obj, edge)
+		case *types.Builtin, *types.TypeName:
+			return
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[f]; ok {
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				// Calling a func-typed struct field: unresolved.
+				break
+			}
+			edge.Fn = fn
+			edge.CalleeID = funcID(fn)
+			edge.Callee = pr.Funcs[edge.CalleeID]
+		} else if obj, ok := p.Info.Uses[f.Sel].(*types.Func); ok {
+			// Package-qualified call: pkg.Fun(...).
+			edge.Fn = obj
+			edge.CalleeID = funcID(obj)
+			edge.Callee = pr.Funcs[edge.CalleeID]
+		} else if _, ok := p.Info.Uses[f.Sel].(*types.Var); ok {
+			// Func-typed field or package-level func variable: unresolved.
+			break
+		}
+	}
+	rc.caller.Edges = append(rc.caller.Edges, edge)
+}
+
+// resolveFuncValue tracks a called local function value one assignment
+// deep: if the variable has exactly one defining assignment in the
+// enclosing declared function and its RHS is a function literal, a
+// function, or a method value, the call resolves to it.
+func (pr *Program) resolveFuncValue(p *Package, caller *FuncNode, v *types.Var, edge *CallEdge) {
+	root := caller.Root()
+	body := root.Body()
+	if body == nil {
+		return
+	}
+	var rhs ast.Expr
+	count := 0
+	record := func(names []*ast.Ident, values []ast.Expr) {
+		for i, name := range names {
+			obj := p.Info.Defs[name]
+			if obj == nil {
+				obj = p.Info.Uses[name]
+			}
+			if obj != v {
+				continue
+			}
+			count++
+			if len(values) == len(names) {
+				rhs = values[i]
+			} else {
+				rhs = nil // multi-value assignment: give up
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			ids := make([]*ast.Ident, 0, len(x.Lhs))
+			ok := true
+			for _, l := range x.Lhs {
+				id, isIdent := l.(*ast.Ident)
+				if !isIdent {
+					ok = false
+					break
+				}
+				ids = append(ids, id)
+			}
+			if ok {
+				record(ids, x.Rhs)
+			} else {
+				// An assignment through a non-ident LHS never rebinds v.
+				_ = x
+			}
+		case *ast.ValueSpec:
+			record(x.Names, x.Values)
+		}
+		return true
+	})
+	if count != 1 || rhs == nil {
+		return
+	}
+	switch r := unparen(rhs).(type) {
+	case *ast.FuncLit:
+		if ln := pr.lits[r]; ln != nil {
+			edge.CalleeID, edge.Callee = ln.ID, ln
+		}
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[r].(*types.Func); ok {
+			edge.Fn = fn
+			edge.CalleeID = funcID(fn)
+			edge.Callee = pr.Funcs[edge.CalleeID]
+		}
+	case *ast.SelectorExpr:
+		// Method value (mv := s.block) or package function.
+		var fn *types.Func
+		if sel, ok := p.Info.Selections[r]; ok {
+			fn, _ = sel.Obj().(*types.Func)
+		} else if obj, ok := p.Info.Uses[r.Sel].(*types.Func); ok {
+			fn = obj
+		}
+		if fn != nil {
+			edge.Fn = fn
+			edge.CalleeID = funcID(fn)
+			edge.Callee = pr.Funcs[edge.CalleeID]
+		}
+	}
+}
+
+// callPassesCtx reports whether any argument of the call has static type
+// context.Context.
+func callPassesCtx(p *Package, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		tv, ok := p.Info.Types[arg]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		// A freshly minted root is not forwarding: f(context.TODO()) drops
+		// the caller's ctx exactly as surely as not passing one.
+		if inner, isCall := unparen(arg).(*ast.CallExpr); isCall {
+			if _, isRoot := isPkgFunc(p, inner.Fun, "context", map[string]bool{"Background": true, "TODO": true}); isRoot {
+				continue
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// --- class hierarchy analysis ---
+
+// OwnsPath reports whether the import path belongs to a lint unit of this
+// run (external test units count under their base path).
+func (pr *Program) OwnsPath(path string) bool {
+	return pr.paths[strings.TrimSuffix(path, "_test")]
+}
+
+// devirtualize resolves interface method call edges to every named type of
+// the program that implements the interface. The module is closed, so the
+// candidate set is exactly the named types the run loaded. Only interfaces
+// DEFINED in the program are devirtualized: resolving io.Writer or
+// http.Handler to every program type with the right method set would
+// connect unrelated code (a log writer is not a WAL) and drown the rules
+// in aliasing noise.
+func (pr *Program) devirtualize() {
+	type namedType struct {
+		t   *types.Named
+		pkg *types.Package
+	}
+	var named []namedType
+	for _, p := range pr.Packages {
+		if p.Types == nil {
+			continue
+		}
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			nt, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(nt) {
+				continue
+			}
+			named = append(named, namedType{t: nt, pkg: p.Types})
+		}
+	}
+	for _, n := range pr.Funcs {
+		for _, e := range n.Edges {
+			if e.Fn == nil || e.Callee != nil {
+				continue
+			}
+			sig, ok := e.Fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				continue
+			}
+			if e.Fn.Pkg() == nil || !pr.OwnsPath(e.Fn.Pkg().Path()) {
+				continue
+			}
+			recv := sig.Recv().Type()
+			if !types.IsInterface(recv) {
+				continue
+			}
+			iface, ok := recv.Underlying().(*types.Interface)
+			if !ok {
+				continue
+			}
+			seen := make(map[string]bool)
+			for _, cand := range named {
+				ptr := types.NewPointer(cand.t)
+				if !types.Implements(cand.t, iface) && !types.Implements(ptr, iface) {
+					continue
+				}
+				obj, _, _ := types.LookupFieldOrMethod(ptr, true, cand.pkg, e.Fn.Name())
+				m, ok := obj.(*types.Func)
+				if !ok {
+					continue
+				}
+				id := funcID(m)
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				if target := pr.Funcs[id]; target != nil {
+					e.Iface = append(e.Iface, target)
+				}
+			}
+			sort.Slice(e.Iface, func(i, j int) bool { return e.Iface[i].ID < e.Iface[j].ID })
+		}
+	}
+}

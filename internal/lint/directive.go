@@ -27,8 +27,11 @@ type directive struct {
 // applyDirectives filters raw diagnostics through the //lint:ignore
 // directives of the package and appends the meta diagnostics: malformed or
 // unknown-rule directives (rule "directive") and directives that suppressed
-// nothing (rule "unused-suppression").
-func applyDirectives(p *Package, raw []Diagnostic, known map[string]bool) []Diagnostic {
+// nothing (rule "unused-suppression"). active holds the rules that ran;
+// catalog holds every name a directive may legally reference. A directive
+// for a cataloged rule that is not active is inert: it suppresses nothing
+// and is not reported as unused (its rule never got the chance to fire).
+func applyDirectives(p *Package, raw []Diagnostic, active, catalog map[string]bool) []Diagnostic {
 	var out []Diagnostic
 	var dirs []*directive
 	for _, f := range p.Files {
@@ -57,9 +60,12 @@ func applyDirectives(p *Package, raw []Diagnostic, known map[string]bool) []Diag
 						"//lint:ignore "+rule+" needs a reason: //lint:ignore <rule> <reason>"))
 					continue
 				}
-				if rule == DirectiveRule || rule == UnusedSuppRule || !known[rule] {
+				if rule == DirectiveRule || rule == UnusedSuppRule || !catalog[rule] {
 					out = append(out, metaDiag(pos, DirectiveRule,
 						"//lint:ignore names unknown rule \""+rule+"\""))
+					continue
+				}
+				if !active[rule] {
 					continue
 				}
 				dirs = append(dirs, &directive{
@@ -88,10 +94,11 @@ func applyDirectives(p *Package, raw []Diagnostic, known map[string]bool) []Diag
 	for _, dir := range dirs {
 		if !dir.used {
 			out = append(out, Diagnostic{
-				Rule: UnusedSuppRule,
-				File: dir.file,
-				Line: dir.line,
-				Col:  dir.col,
+				Rule:     UnusedSuppRule,
+				Severity: SeverityError,
+				File:     dir.file,
+				Line:     dir.line,
+				Col:      dir.col,
 				Message: "//lint:ignore " + dir.rule +
 					" suppresses nothing — remove it or fix the directive",
 			})
@@ -101,7 +108,7 @@ func applyDirectives(p *Package, raw []Diagnostic, known map[string]bool) []Diag
 }
 
 func metaDiag(pos token.Position, rule, msg string) Diagnostic {
-	return Diagnostic{Rule: rule, File: pos.Filename, Line: pos.Line, Col: pos.Column, Message: msg}
+	return Diagnostic{Rule: rule, Severity: SeverityError, File: pos.Filename, Line: pos.Line, Col: pos.Column, Message: msg}
 }
 
 // directiveTarget decides which source line a directive governs: its own

@@ -26,17 +26,46 @@ type Rule interface {
 // placed above it matches.
 type Reporter func(pos token.Pos, format string, args ...any)
 
+// Severity tiers. Error findings fail the lint gate; warn findings are
+// advisory, letting new rules land warn-first and graduate once the
+// baseline drains.
+const (
+	SeverityError = "error"
+	SeverityWarn  = "warn"
+)
+
+// Severitied is the optional interface a Rule implements to downgrade its
+// findings; rules without it report at the error tier.
+type Severitied interface {
+	Severity() string
+}
+
 // Diagnostic is one finding, positioned and attributed to a rule.
 type Diagnostic struct {
-	Rule    string `json:"rule"`
-	File    string `json:"file"`
-	Line    int    `json:"line"`
-	Col     int    `json:"col"`
-	Message string `json:"message"`
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
 }
 
 func (d Diagnostic) String() string {
+	if d.Severity == SeverityWarn {
+		return fmt.Sprintf("%s:%d:%d: warning: %s (%s)", d.File, d.Line, d.Col, d.Message, d.Rule)
+	}
 	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.File, d.Line, d.Col, d.Message, d.Rule)
+}
+
+// CountErrors returns how many diagnostics are at the error tier.
+func CountErrors(ds []Diagnostic) int {
+	n := 0
+	for _, d := range ds {
+		if d.Severity != SeverityWarn {
+			n++
+		}
+	}
+	return n
 }
 
 // Names of the two meta rules the runner itself emits. They cannot be
@@ -58,6 +87,10 @@ func DefaultRules() []Rule {
 		NewMetricName(),
 		NewErrCheck(),
 		NewScopedObs(),
+		NewCtxFlow(),
+		NewGoroutineJoin(),
+		NewLockBlocking(),
+		NewWalOrder(),
 	}
 }
 
@@ -75,7 +108,10 @@ func (r *Runner) Run(patterns ...string) ([]Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
-	var all []Diagnostic
+	// Load every unit first: the interprocedural program must span the
+	// whole run before any rule fires, or cross-package facts (CHA targets,
+	// transitive blocking) would be missing.
+	var units []*Package
 	for _, dir := range dirs {
 		path, err := r.Loader.PathFor(dir)
 		if err != nil {
@@ -85,35 +121,55 @@ func (r *Runner) Run(patterns ...string) ([]Diagnostic, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, p := range pkgs {
-			all = append(all, r.RunPackage(p)...)
-		}
+		units = append(units, pkgs...)
+	}
+	prog := NewProgram(units)
+	var all []Diagnostic
+	for _, p := range units {
+		p.Prog = prog
+		all = append(all, r.RunPackage(p)...)
 	}
 	sortDiagnostics(all)
 	return all, nil
 }
 
 // RunPackage applies every rule to one loaded package and resolves
-// suppression directives within it.
+// suppression directives within it. Directive validation accepts any rule
+// of the full shipped catalog, not just the active set, so running a rule
+// subset (-rules) does not turn the other rules' suppressions into
+// "unknown rule" findings; a directive for a known-but-inactive rule is
+// simply inert.
 func (r *Runner) RunPackage(p *Package) []Diagnostic {
 	known := make(map[string]bool, len(r.Rules))
 	var raw []Diagnostic
 	for _, rule := range r.Rules {
 		rule := rule
 		known[rule.Name()] = true
+		sev := SeverityError
+		if s, ok := rule.(Severitied); ok && s.Severity() != "" {
+			sev = s.Severity()
+		}
 		report := func(pos token.Pos, format string, args ...any) {
 			position := p.Fset.Position(pos)
 			raw = append(raw, Diagnostic{
-				Rule:    rule.Name(),
-				File:    position.Filename,
-				Line:    position.Line,
-				Col:     position.Column,
-				Message: fmt.Sprintf(format, args...),
+				Rule:     rule.Name(),
+				Severity: sev,
+				File:     position.Filename,
+				Line:     position.Line,
+				Col:      position.Column,
+				Message:  fmt.Sprintf(format, args...),
 			})
 		}
 		rule.Check(p, report)
 	}
-	return applyDirectives(p, raw, known)
+	catalog := make(map[string]bool, len(known))
+	for name := range known {
+		catalog[name] = true
+	}
+	for _, rule := range DefaultRules() {
+		catalog[rule.Name()] = true
+	}
+	return applyDirectives(p, raw, known, catalog)
 }
 
 func sortDiagnostics(ds []Diagnostic) {

@@ -48,11 +48,16 @@ func lintFixture(t *testing.T, ld *Loader, rules []Rule, name string) []Diagnost
 		t.Fatalf("fixture %s loaded no packages", name)
 	}
 	r := &Runner{Loader: ld, Rules: rules}
+	// The interprocedural rules need a Program; fix/journal stands in for
+	// the persist package. Single-fixture scope is deliberate — each
+	// fixture is its own closed world.
+	prog := NewProgramWith(pkgs, "fix/journal")
 	var got []Diagnostic
 	for _, p := range pkgs {
 		for _, terr := range p.TypeErrors {
 			t.Errorf("fixture %s (%s): type error: %v", name, p.Path, terr)
 		}
+		p.Prog = prog
 		got = append(got, r.RunPackage(p)...)
 	}
 	sortDiagnostics(got)
@@ -149,6 +154,11 @@ func TestRuleFixtures(t *testing.T) {
 			Instrumented:  []string{"fix/scopedobs"},
 			DefaultExempt: []string{"fix/obs"},
 		}}},
+		{"ctxflow", []Rule{NewCtxFlow()}},
+		{"goroutinejoin", []Rule{NewGoroutineJoin()}},
+		{"lockblocking", []Rule{NewLockBlocking()}},
+		{"walorder", []Rule{&WalOrder{Packages: []string{"fix/walorder"}}}},
+		{"journal", []Rule{NewCtxFlow(), NewGoroutineJoin(), NewLockBlocking(), NewWalOrder()}}, // the stand-in persist package itself is clean
 	}
 	for _, c := range cases {
 		t.Run(c.fixture, func(t *testing.T) {

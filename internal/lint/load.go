@@ -27,6 +27,11 @@ type Package struct {
 	Types      *types.Package
 	Info       *types.Info
 	TypeErrors []error // type-check problems; rules still run on what resolved
+
+	// Prog is the interprocedural view of the whole lint run; the Runner
+	// fills it in before rules execute. Rules that need the call graph must
+	// tolerate a nil Prog (single-package harnesses may not build one).
+	Prog *Program
 }
 
 // Loader parses and type-checks packages of a single module using only the

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func sampleDiagnostics() []Diagnostic {
+	return []Diagnostic{
+		{Rule: "ctx-flow", Severity: SeverityError, File: "/mod/internal/a/a.go", Line: 10, Col: 2,
+			Message: "run has a context in scope but calls step without forwarding it"},
+		{Rule: "lock-blocking", Severity: SeverityWarn, File: "/mod/internal/b/b.go", Line: 42, Col: 5,
+			Message: "flush may block while holding s.mu (locked at line 40): calls Sleep (time.Sleep)"},
+	}
+}
+
+// TestWriteSARIFGolden pins the exact SARIF 2.1.0 bytes: code-scanning
+// uploads parse this shape, so drift is a compatibility break, not a
+// formatting choice. Regenerate deliberately with -update.
+func TestWriteSARIFGolden(t *testing.T) {
+	catalog := []RuleInfo{
+		{Name: "ctx-flow", Doc: "context.Context must flow through the call graph, not be re-minted"},
+		{Name: "lock-blocking", Doc: "no blocking calls while holding a mutex"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, "/mod", catalog, sampleDiagnostics()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden", "sarif.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		//lint:ignore persist-writes golden regeneration is a developer action, not runtime persistence
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("SARIF output drifted from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestCatalogInfoAppendsMetaRules(t *testing.T) {
+	infos := CatalogInfo([]Rule{NewCtxFlow()})
+	if len(infos) != 3 {
+		t.Fatalf("CatalogInfo = %d entries, want rule + 2 meta rules", len(infos))
+	}
+	if infos[0].Name != "ctx-flow" || infos[1].Name != DirectiveRule || infos[2].Name != UnusedSuppRule {
+		t.Errorf("catalog order = %v", infos)
+	}
+}
+
+// TestBaselineRoundTrip: capture -> write -> load -> filter suppresses
+// exactly the captured findings and keeps the excess.
+func TestBaselineRoundTrip(t *testing.T) {
+	ds := sampleDiagnostics()
+	b := NewBaseline("/mod", ds)
+	if len(b.Entries) != 2 {
+		t.Fatalf("baseline entries = %d, want 2: %v", len(b.Entries), b.Entries)
+	}
+	for _, e := range b.Entries {
+		if filepath.IsAbs(e.File) {
+			t.Errorf("baseline entry file %q is not module-relative", e.File)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	//lint:ignore persist-writes round-trip scratch file in t.TempDir; durability machinery would only add fsync noise
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kept, suppressed := loaded.Filter("/mod", ds)
+	if suppressed != 2 || len(kept) != 0 {
+		t.Errorf("filter over captured set: kept %v, suppressed %d; want all suppressed", kept, suppressed)
+	}
+
+	// A second occurrence of a baselined message exceeds its count budget.
+	extra := append(append([]Diagnostic{}, ds...), ds[0])
+	kept, suppressed = loaded.Filter("/mod", extra)
+	if suppressed != 2 || len(kept) != 1 || kept[0].Rule != "ctx-flow" {
+		t.Errorf("filter over excess: kept %v, suppressed %d; want the third finding kept", kept, suppressed)
+	}
+
+	// A new message is untouched by the baseline.
+	fresh := Diagnostic{Rule: "ctx-flow", File: "/mod/internal/a/a.go", Line: 11, Col: 1, Message: "different message"}
+	kept, _ = loaded.Filter("/mod", []Diagnostic{fresh})
+	if len(kept) != 1 {
+		t.Errorf("fresh finding was suppressed: %v", kept)
+	}
+}
+
+func TestLoadBaselineMissing(t *testing.T) {
+	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("LoadBaseline on a missing file succeeded; -baseline is deliberate, so this must fail")
+	}
+}
+
+// TestSeverityTiers: warn findings do not count toward the gate and render
+// with the warning prefix.
+func TestSeverityTiers(t *testing.T) {
+	ds := sampleDiagnostics()
+	if n := CountErrors(ds); n != 1 {
+		t.Errorf("CountErrors = %d, want 1 (the warn finding is advisory)", n)
+	}
+	if s := ds[1].String(); !bytes.Contains([]byte(s), []byte("warning:")) {
+		t.Errorf("warn diagnostic %q lacks the warning prefix", s)
+	}
+}

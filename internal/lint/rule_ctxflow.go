@@ -1,0 +1,165 @@
+package lint
+
+// ctx-flow: a function that accepts a context.Context must forward it to
+// every callee that accepts one — dropping the ctx on the floor severs the
+// cancellation chain the rest of the repo relies on. Separately,
+// context.Background() and context.TODO() outside package main and tests
+// are findings: a library function that mints its own root context is
+// exactly a dropped ctx in disguise. Compat wrappers of the repo's
+// Foo/FooContext convention (a non-ctx function whose body delegates to
+// its own Context variant with a fresh Background) are exempt — they exist
+// to mint the root for callers that have none.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlow is the ctx-flow rule; it needs the interprocedural program.
+type CtxFlow struct{}
+
+// NewCtxFlow returns the rule with defaults.
+func NewCtxFlow() *CtxFlow { return &CtxFlow{} }
+
+// Name implements Rule.
+func (r *CtxFlow) Name() string { return "ctx-flow" }
+
+// Doc implements Rule.
+func (r *CtxFlow) Doc() string {
+	return "ctx-accepting functions must forward their ctx to ctx-accepting callees; no context.Background/TODO outside main and tests"
+}
+
+// Check implements Rule.
+func (r *CtxFlow) Check(p *Package, report Reporter) {
+	if p.Prog == nil {
+		return
+	}
+	for _, n := range p.Prog.NodesOf(p) {
+		if !n.Summary.CtxInScope {
+			continue
+		}
+		for _, e := range n.Edges {
+			// Go edges belong to goroutine-join; pass edges are not calls.
+			if e.Kind != EdgeCall && e.Kind != EdgeDefer {
+				continue
+			}
+			if e.PassesCtx || isTestPos(p, e.Pos) {
+				continue
+			}
+			if !calleeAcceptsCtx(e) {
+				continue
+			}
+			report(e.Pos, "%s has a context in scope but calls %s without forwarding it",
+				n.Name(), edgeCalleeName(e))
+		}
+	}
+	r.checkRoots(p, report)
+}
+
+// calleeAcceptsCtx reports whether the resolved callee of e takes a
+// context.Context parameter.
+func calleeAcceptsCtx(e *CallEdge) bool {
+	if e.Callee != nil {
+		return e.Callee.Summary.AcceptsCtx
+	}
+	if e.Fn != nil {
+		if sig, ok := e.Fn.Type().(*types.Signature); ok {
+			for i := 0; i < sig.Params().Len(); i++ {
+				if isContextType(sig.Params().At(i).Type()) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func edgeCalleeName(e *CallEdge) string {
+	if e.Callee != nil {
+		return e.Callee.Name()
+	}
+	if e.Fn != nil {
+		return shortFuncName(funcID(e.Fn))
+	}
+	return "a function value"
+}
+
+// checkRoots flags context.Background()/TODO() in library code. Package
+// main and test files may mint roots; so may the Foo -> FooContext compat
+// wrappers, where the Background call is an argument of the delegated call.
+func (r *CtxFlow) checkRoots(p *Package, report Reporter) {
+	if p.Types != nil && p.Types.Name() == "main" {
+		return
+	}
+	rootFns := map[string]bool{"Background": true, "TODO": true}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := isPkgFunc(p, call.Fun, "context", rootFns)
+			if !ok {
+				return true
+			}
+			pos := call.Pos()
+			if isTestPos(p, pos) {
+				return true
+			}
+			if isCompatWrapper(p, f, pos) {
+				return true
+			}
+			report(pos, "context.%s() in library code severs the cancellation chain; thread a ctx from the caller instead", name)
+			return true
+		})
+	}
+}
+
+// isCompatWrapper reports whether the function declaration enclosing pos
+// is a Foo -> FooContext compat wrapper: it does not itself accept a ctx
+// and its body is a single statement delegating to <name>Context.
+// Declarations never nest in Go, so the file-level decl containing pos is
+// the enclosing function.
+func isCompatWrapper(p *Package, f *ast.File, pos token.Pos) bool {
+	var encl *ast.FuncDecl
+	for _, d := range f.Decls {
+		if fdecl, ok := d.(*ast.FuncDecl); ok && fdecl.Pos() <= pos && pos <= fdecl.End() {
+			encl = fdecl
+			break
+		}
+	}
+	if encl == nil {
+		return false
+	}
+	if funcTypeAcceptsCtx(p, encl.Type) {
+		return false
+	}
+	if encl.Body == nil || len(encl.Body.List) != 1 {
+		return false
+	}
+	var call *ast.CallExpr
+	switch st := encl.Body.List[0].(type) {
+	case *ast.ReturnStmt:
+		if len(st.Results) == 1 {
+			call, _ = unparen(st.Results[0]).(*ast.CallExpr)
+		}
+	case *ast.ExprStmt:
+		call, _ = unparen(st.X).(*ast.CallExpr)
+	}
+	if call == nil {
+		return false
+	}
+	name := calleeIdentName(call.Fun)
+	return name == encl.Name.Name+"Context"
+}
+
+func calleeIdentName(e ast.Expr) string {
+	switch f := unparen(e).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}

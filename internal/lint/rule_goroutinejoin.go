@@ -1,0 +1,78 @@
+package lint
+
+// goroutine-join: every go statement must be joinable or cancellable.
+// A goroutine passes when (any of):
+//
+//   - a context.Context reaches it — as a call argument, or captured by
+//     the spawned literal's body — so shutdown can cancel it;
+//   - it signals a join when it finishes: the spawned function (or a
+//     function it calls) does sync.WaitGroup.Done, sends on a channel, or
+//     closes one — the done-channel and WaitGroup idioms;
+//
+// anything else is a leak: nothing can wait for it and nothing can stop
+// it, which is exactly the goroutine that outlives Close() and trips the
+// race detector in chaos tests. The signal check is interprocedural: a
+// worker method whose `defer wg.Done()` sits three calls deep still
+// counts.
+
+// GoroutineJoin is the goroutine-join rule.
+type GoroutineJoin struct{}
+
+// NewGoroutineJoin returns the rule with defaults.
+func NewGoroutineJoin() *GoroutineJoin { return &GoroutineJoin{} }
+
+// Name implements Rule.
+func (r *GoroutineJoin) Name() string { return "goroutine-join" }
+
+// Doc implements Rule.
+func (r *GoroutineJoin) Doc() string {
+	return "every go statement must be joined (WaitGroup/done-channel) or cancellable via a forwarded ctx"
+}
+
+// Check implements Rule.
+func (r *GoroutineJoin) Check(p *Package, report Reporter) {
+	if p.Prog == nil {
+		return
+	}
+	for _, n := range p.Prog.NodesOf(p) {
+		for _, e := range n.Edges {
+			if e.Kind != EdgeGo || isTestPos(p, e.Pos) {
+				continue
+			}
+			if e.PassesCtx {
+				continue
+			}
+			if e.Callee != nil {
+				cs := e.Callee.Summary
+				if cs.Signals || cs.MentionsCtx {
+					continue
+				}
+			}
+			if receiverSignals(e) {
+				continue
+			}
+			report(e.Pos, "goroutine spawned by %s is neither joined (no WaitGroup.Done, channel send or close on any path) nor cancellable (no ctx reaches it)",
+				n.Name())
+		}
+	}
+}
+
+// receiverSignals handles `go x.m(...)` where m is a program method whose
+// node resolved (e.Callee != nil already covered) — and the unresolved
+// bound-method case where only the types object is known: a method of a
+// program type may still have a node under its stable ID.
+func receiverSignals(e *CallEdge) bool {
+	if e.Call == nil || e.Fn == nil || e.Callee != nil {
+		return false
+	}
+	// Interface-devirtualized targets: joined if every candidate signals.
+	if len(e.Iface) > 0 {
+		for _, t := range e.Iface {
+			if !t.Summary.Signals && !t.Summary.MentionsCtx {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+// Fixture for the ctx-flow rule: forwarding misses, library-code roots,
+// and the compat-wrapper exemption.
+package ctxflow
+
+import "context"
+
+func worker(ctx context.Context) error { return nil }
+
+func plain() {}
+
+// forwards is clean: the ctx reaches every ctx-accepting callee, and
+// plain() takes none.
+func forwards(ctx context.Context) {
+	_ = worker(ctx)
+	plain()
+}
+
+// derived is clean: a child context still forwards the chain.
+func derived(ctx context.Context) {
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	_ = worker(child)
+}
+
+// drops has a ctx but mints a fresh root for its callee.
+func drops(ctx context.Context) {
+	_ = worker(context.TODO()) // want `drops has a context in scope but calls worker without forwarding it` `context\.TODO\(\) in library code severs the cancellation chain`
+}
+
+// literalDrops shows the ctx scope flowing into a func literal.
+func literalDrops(ctx context.Context) func() {
+	return func() {
+		_ = worker(context.Background()) // want `literalDrops\$0 has a context in scope but calls worker without forwarding it` `context\.Background\(\) in library code severs the cancellation chain`
+	}
+}
+
+// RunContext/Run follow the repo's compat-wrapper convention: Run may mint
+// the root because its one statement delegates to RunContext.
+func RunContext(ctx context.Context, n int) error { return worker(ctx) }
+
+// Run is the exempt compat wrapper.
+func Run(n int) error {
+	return RunContext(context.Background(), n)
+}
+
+// notAWrapper mints a root and does other work too: not exempt.
+func notAWrapper(n int) error {
+	n++
+	return RunContext(context.Background(), n) // want `context\.Background\(\) in library code severs the cancellation chain`
+}

@@ -1,0 +1,51 @@
+// Fixture for the goroutine-join rule: every go statement must be joined
+// (WaitGroup.Done, channel send or close on some path) or cancellable (a
+// ctx reaches the spawned function).
+package goroutinejoin
+
+import (
+	"context"
+	"sync"
+)
+
+func fire() {}
+
+func fireCtx(ctx context.Context) {}
+
+// orphan spawns work nothing can stop or wait for.
+func orphan() {
+	go fire() // want `goroutine spawned by orphan is neither joined .* nor cancellable`
+}
+
+// joined is clean: the literal signals a WaitGroup.
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fire()
+	}()
+	wg.Wait()
+}
+
+// doneChannel is clean: closing the channel is the join signal.
+func doneChannel() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fire()
+	}()
+	return done
+}
+
+// cancellable is clean: the ctx reaches the spawned function.
+func cancellable(ctx context.Context) {
+	go fireCtx(ctx)
+}
+
+// orphanLiteral spawns a literal that neither signals nor sees a ctx.
+func orphanLiteral() {
+	go func() { // want `goroutine spawned by orphanLiteral is neither joined .* nor cancellable`
+		fire()
+	}()
+}

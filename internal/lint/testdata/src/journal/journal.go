@@ -1,0 +1,19 @@
+// Package journal is the fixture stand-in for the persist package: the
+// fixture harness builds its Programs with persist path "fix/journal", so
+// calls into this package classify as persist writes and Journal.Append
+// is the WAL append the wal-order rule keys on.
+package journal
+
+// Journal is the fixture WAL.
+type Journal struct {
+	n int
+}
+
+// Append journals one record.
+func (j *Journal) Append(rec []byte) error {
+	j.n++
+	return nil
+}
+
+// Close closes the journal.
+func (j *Journal) Close() error { return nil }

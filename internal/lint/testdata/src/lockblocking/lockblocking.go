@@ -1,0 +1,97 @@
+// Fixture for the lock-blocking rule: may-block calls inside mutex
+// critical sections, the *Locked caller-holds convention, and the
+// deadlock cases (direct re-lock and re-lock through a callee).
+package lockblocking
+
+import (
+	"sync"
+	"time"
+
+	"fix/journal"
+)
+
+type server struct {
+	mu  sync.Mutex
+	wal *journal.Journal
+	n   int
+}
+
+// sleepy blocks (time.Sleep) while holding s.mu.
+func (s *server) sleepy() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `sleepy may block while holding s\.mu \(locked at line \d+\).*time\.Sleep`
+	s.mu.Unlock()
+}
+
+// walWrite reaches the persist layer under the lock; the first site is
+// reported with a count of the rest.
+func (s *server) walWrite() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.wal.Append(nil) // want `walWrite may block while holding s\.mu .*persist write.*\+1 more blocking site`
+	_ = s.wal.Append(nil)
+}
+
+// outside is clean: the blocking work happens after the unlock.
+func (s *server) outside() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+	_ = s.wal.Append(nil)
+}
+
+// chanUnderLock blocks on a channel receive inside the critical section.
+func (s *server) chanUnderLock(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-ch // want `chanUnderLock may block while holding s\.mu .*channel receive`
+}
+
+// guarded is clean: a select with a default never blocks.
+func (s *server) guarded(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-ch:
+	default:
+	}
+}
+
+// flushLocked follows the *Locked convention: it is analyzed as holding
+// its caller's lock, so its own blocking call is the finding — and the
+// caller below is not re-reported for calling it.
+func (s *server) flushLocked() {
+	_ = s.wal.Append(nil) // want `flushLocked runs under its caller's lock .*persist write`
+}
+
+// flush is clean at the call site: the finding lives inside flushLocked.
+func (s *server) flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+}
+
+// relock re-acquires the mutex it already holds.
+func (s *server) relock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mu.Lock() // want `relock locks s\.mu while already holding it .*guaranteed self-deadlock`
+	s.n++
+	s.mu.Unlock()
+}
+
+// lockedHelper takes the lock itself (no *Locked suffix: it is honest
+// about locking, which is what trips its callers).
+func (s *server) lockedHelper() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// indirect deadlocks through a callee that re-acquires the held mutex.
+func (s *server) indirect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lockedHelper() // want `indirect calls .*lockedHelper which re-acquires s\.mu already held .*guaranteed deadlock`
+}

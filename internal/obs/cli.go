@@ -114,13 +114,16 @@ func (c *CLI) Begin() error {
 	// Interrupt handling goes in last so a signal-triggered flush sees
 	// every sink above already installed.
 	if c.Timeout > 0 {
+		//lint:ignore ctx-flow Begin mints the process-root context every command descends from; there is no outer ctx to thread
 		c.ctx, c.cancelCtx = context.WithTimeout(context.Background(), c.Timeout)
 	} else {
+		//lint:ignore ctx-flow Begin mints the process-root context every command descends from; there is no outer ctx to thread
 		c.ctx, c.cancelCtx = context.WithCancel(context.Background())
 	}
 	c.finished = make(chan struct{})
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	//lint:ignore goroutine-join process-lifetime signal watcher: it exits through c.finished when Finish runs, or takes the process down itself
 	go func() {
 		defer signal.Stop(sigs)
 		select {
@@ -154,6 +157,7 @@ func (c *CLI) Begin() error {
 // should descend from it.
 func (c *CLI) Context() context.Context {
 	if c.ctx == nil {
+		//lint:ignore ctx-flow Background-before-Begin is this accessor's documented fallback; the real root is minted in Begin
 		return context.Background()
 	}
 	return c.ctx

@@ -31,7 +31,13 @@ func StartDebugServer(addr string) (stop func() error, boundAddr string, err err
 		return nil, "", fmt.Errorf("obs: debug server: %w", err)
 	}
 	srv := &http.Server{Handler: DebugHandler()}
-	go srv.Serve(ln) //lint:ignore errcheck Serve returns ErrServerClosed when StopDebugServer closes the listener, by design
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		// Serve returns ErrServerClosed when the stop function closes the
+		// listener, by design.
+		_ = srv.Serve(ln)
+	}()
 	debugTrackRef(+1)
 	stopped := false
 	return func() error {
@@ -40,7 +46,11 @@ func StartDebugServer(addr string) (stop func() error, boundAddr string, err err
 		}
 		stopped = true
 		debugTrackRef(-1)
-		return srv.Close()
+		err := srv.Close()
+		// Join the Serve goroutine: after stop returns, nothing of the debug
+		// server is still running.
+		<-serveDone
+		return err
 	}, ln.Addr().String(), nil
 }
 
